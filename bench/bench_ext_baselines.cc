@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Extension: comparison against the related-work baselines the paper
+ * discusses — the Sodani/Sohi Reuse Buffer (PC-indexed, all
+ * instructions) and the Oberman/Flynn reciprocal cache (divisor-
+ * indexed). Reported for the fp divider across the speedup apps.
+ */
+
+#include <iostream>
+
+#include "arith/fp.hh"
+#include "common.hh"
+#include "core/recip_cache.hh"
+#include "core/reuse_buffer.hh"
+
+using namespace memo;
+
+int
+main()
+{
+    bench::printHeader("MEMO-TABLE vs Reuse Buffer vs reciprocal cache "
+                       "(fp division)",
+                       "paper section 1.1");
+
+    MemoConfig memo_cfg; // 32/4
+
+    TextTable t({"application", "memo 32/4", "RB 32/4 (div only)",
+                 "RB 1024/4 (all insts)", "recip 32/4",
+                 "eff. div latency memo", "eff. recip"});
+
+    for (const auto &name : bench::speedupApps()) {
+        const MmKernel &k = mmKernelByName(name);
+
+        MemoTable memo_t(Operation::FpDiv, memo_cfg);
+        ReuseBuffer rb_small(32, 4);    // holds only divisions
+        ReuseBuffer rb_large(1024, 4);  // buffers *every* instruction
+        ReciprocalCache recip(32, 4);
+
+        bool any = false;
+        for (const auto &ni : standardImages()) {
+            Trace trace = traceMmKernel(k, ni.image, bench::benchCrop);
+            memo_t.flush();
+            for (const auto &inst : trace.instructions()) {
+                // The Reuse Buffer caches every instruction type: the
+                // single-cycle traffic bumps long-latency entries.
+                if (inst.cls == InstClass::IntAlu ||
+                    inst.cls == InstClass::Branch) {
+                    rb_large.update(inst.pc, 0, 0, 0);
+                    continue;
+                }
+                if (inst.cls != InstClass::FpDiv) {
+                    if (memoOperation(inst.cls))
+                        rb_large.update(inst.pc, inst.a, inst.b,
+                                        inst.result);
+                    continue;
+                }
+                any = true;
+                if (!memo_t.lookup(inst.a, inst.b))
+                    memo_t.update(inst.a, inst.b, inst.result);
+                if (!rb_small.lookup(inst.pc, inst.a, inst.b))
+                    rb_small.update(inst.pc, inst.a, inst.b,
+                                    inst.result);
+                if (!rb_large.lookup(inst.pc, inst.a, inst.b))
+                    rb_large.update(inst.pc, inst.a, inst.b,
+                                    inst.result);
+                if (!recip.lookup(inst.b))
+                    recip.update(inst.b, fpBits(1.0 /
+                                                fpFromBits(inst.b)));
+            }
+        }
+        if (!any)
+            continue;
+
+        // Effective division latency on a 13-cycle divider: memo hits
+        // finish in 1 cycle; reciprocal-cache hits still pay the
+        // 3-cycle multiply.
+        double hr_memo = memo_t.stats().hitRatio();
+        double hr_recip = recip.stats().hitRatio();
+        double eff_memo = hr_memo * 1.0 + (1.0 - hr_memo) * 13.0;
+        double eff_recip = hr_recip * 3.0 + (1.0 - hr_recip) * 13.0;
+
+        t.addRow({name, TextTable::ratio(hr_memo),
+                  TextTable::ratio(rb_small.stats().hitRatio()),
+                  TextTable::ratio(rb_large.stats().hitRatio()),
+                  TextTable::ratio(hr_recip),
+                  TextTable::fixed(eff_memo, 1),
+                  TextTable::fixed(eff_recip, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape to check: the PC-indexed Reuse Buffer needs "
+                 "PC+operand matches and\nits entries are bumped by "
+                 "single-cycle instructions, so the equal-budget\n"
+                 "MEMO-TABLE hits more; the reciprocal cache hits on "
+                 "any repeated divisor but\neach hit still costs a "
+                 "multiply.\n";
+    return 0;
+}

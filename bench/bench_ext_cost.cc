@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Extension: the hardware cost of MEMO-TABLE capacity (section 2.4
+ * made quantitative). For each size, the storage budget, estimated
+ * lookup latency, and the *latency-aware* division SE — hit ratios
+ * keep rising with capacity (Figure 3), but once the lookup itself
+ * costs extra cycles the net gain peaks at a small table, supporting
+ * the paper's choice of 32 entries.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "sim/amdahl.hh"
+#include "sim/cost.hh"
+
+using namespace memo;
+
+int
+main()
+{
+    bench::printHeader("Capacity vs hardware cost vs latency-aware "
+                       "benefit (fp div, 13-cycle divider)",
+                       "paper section 2.4");
+
+    // Hit ratios per size, pooled over the five sweep kernels.
+    std::vector<unsigned> sizes = {8,   16,   32,   64,   128,
+                                   256, 1024, 4096, 8192};
+    std::vector<MemoConfig> cfgs;
+    for (unsigned entries : sizes) {
+        MemoConfig cfg;
+        cfg.entries = entries;
+        cfg.ways = 4;
+        cfgs.push_back(cfg);
+    }
+
+    std::vector<double> hit(sizes.size(), 0.0);
+    std::vector<int> n(sizes.size(), 0);
+    for (const auto &name : sweepKernelNames()) {
+        auto hits = measureMmKernelConfigs(mmKernelByName(name), cfgs,
+                                           bench::benchCrop);
+        for (size_t s = 0; s < sizes.size(); s++) {
+            if (hits[s].fpDiv >= 0) {
+                hit[s] += hits[s].fpDiv;
+                n[s]++;
+            }
+        }
+    }
+
+    TextTable t({"entries", "bytes", "cmp bits", "lookup cyc",
+                 "hit ratio", "SE (1-cyc hits)", "SE (latency-aware)"});
+    constexpr unsigned dc = 13;
+    for (size_t s = 0; s < sizes.size(); s++) {
+        double hr = hit[s] / n[s];
+        TableCost cost = tableCost(Operation::FpDiv, cfgs[s]);
+        double se_ideal = speedupEnhanced(dc, hr);
+        // Hits cost the lookup latency instead of one cycle.
+        double se_real = dc / ((1.0 - hr) * dc +
+                               hr * cost.lookupCycles);
+        t.addRow({TextTable::count(sizes[s]),
+                  TextTable::count(cost.bytes),
+                  TextTable::count(cost.comparatorBits),
+                  TextTable::count(cost.lookupCycles),
+                  TextTable::ratio(hr), TextTable::fixed(se_ideal, 2),
+                  TextTable::fixed(se_real, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape to check: under the 1-cycle-hit assumption "
+                 "SE keeps growing with\ncapacity, but once lookup "
+                 "latency scales with array size the net SE peaks\n"
+                 "at a small table — the quantitative form of the "
+                 "paper's 32-entry choice\n(768 data bytes; the "
+                 "Pentium's SRT lookup table alone is 1 KB).\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Methodology validation: the hit-ratio benches centre-crop inputs to
+ * 96x96 (DESIGN.md section 5). This bench shows the measured hit
+ * ratios are stable across crop sizes — i.e. the crop substitution
+ * does not drive the results.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace memo;
+
+int
+main()
+{
+    bench::printHeader("Crop-size sensitivity of the 32/4 hit ratios",
+                       "methodology check for DESIGN.md section 5");
+
+    MemoConfig cfg;
+    TextTable t({"application", "fd@48", "fd@96", "fd@160", "fm@48",
+                 "fm@96", "fm@160"});
+
+    for (const auto &name : sweepKernelNames()) {
+        const MmKernel &k = mmKernelByName(name);
+        double fd[3], fm[3];
+        int i = 0;
+        for (int crop : {48, 96, 160}) {
+            UnitHits h = measureMmKernel(k, cfg, crop);
+            fd[i] = h.fpDiv;
+            fm[i] = h.fpMul;
+            i++;
+        }
+        t.addRow({name, TextTable::ratio(fd[0]),
+                  TextTable::ratio(fd[1]), TextTable::ratio(fd[2]),
+                  TextTable::ratio(fm[0]), TextTable::ratio(fm[1]),
+                  TextTable::ratio(fm[2])});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape to check: each application's ratios move by "
+                 "at most a few points\nacross a 3.3x change in crop "
+                 "area — local value statistics, not frame size,\n"
+                 "drive MEMO-TABLE behaviour, as the paper's windowed-"
+                 "entropy analysis implies.\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Extension: soft-error vulnerability of the MEMO-TABLE array. Unlike
+ * a cache, a memo table's payload is *architecturally invisible* — a
+ * flipped bit silently changes a computed result. This bench injects
+ * deterministic bit flips into the fp-div table while replaying a
+ * workload and counts silently corrupted results without protection
+ * vs detected-and-dropped hits with a per-entry parity bit (whose
+ * cost is one bit in ~193, per sim/cost.hh).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace memo;
+
+namespace
+{
+
+struct FaultRun
+{
+    uint64_t hits = 0;
+    uint64_t corrupted = 0;  //!< hits returning a wrong value
+    uint64_t detected = 0;   //!< parity misses
+    uint64_t flips = 0;
+};
+
+FaultRun
+replayWithFaults(const Trace &trace, bool parity, unsigned flip_period)
+{
+    MemoConfig cfg;
+    cfg.parityProtected = parity;
+    MemoTable table(Operation::FpDiv, cfg);
+
+    FaultRun run;
+    uint64_t rng = 12345;
+    uint64_t since_flip = 0;
+    for (const auto &inst : trace.instructions()) {
+        if (inst.cls != InstClass::FpDiv)
+            continue;
+        if (++since_flip >= flip_period) {
+            since_flip = 0;
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            unsigned set = static_cast<unsigned>(rng % cfg.sets());
+            unsigned way = static_cast<unsigned>((rng >> 8) %
+                                                 cfg.ways);
+            unsigned bit = static_cast<unsigned>((rng >> 16) % 64);
+            if (table.injectBitFlip(set, way, bit))
+                run.flips++;
+        }
+        if (auto v = table.lookup(inst.a, inst.b)) {
+            run.hits++;
+            if (*v != inst.result)
+                run.corrupted++;
+        } else {
+            table.update(inst.a, inst.b, inst.result);
+        }
+    }
+    run.detected = table.stats().parityMisses;
+    return run;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::printHeader("Soft errors in the MEMO-TABLE array: silent "
+                       "corruption vs parity protection",
+                       "reliability extension; one flip per 200 "
+                       "divisions");
+
+    TextTable t({"application", "flips", "hits (unprot)",
+                 "corrupted results", "hits (parity)", "detected",
+                 "corrupted (parity)"});
+
+    for (const auto &name : {"vcost", "vgauss", "vspatial", "vkmeans",
+                             "vgpwl"}) {
+        const MmKernel &k = mmKernelByName(name);
+        Trace trace = traceMmKernel(k, imageByName("Muppet1").image,
+                                    bench::benchCrop);
+        FaultRun unprot = replayWithFaults(trace, false, 200);
+        FaultRun prot = replayWithFaults(trace, true, 200);
+
+        t.addRow({name, TextTable::count(unprot.flips),
+                  TextTable::count(unprot.hits),
+                  TextTable::count(unprot.corrupted),
+                  TextTable::count(prot.hits),
+                  TextTable::count(prot.detected),
+                  TextTable::count(prot.corrupted)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape to check: without protection a fraction of "
+                 "hits silently return\nwrong results (unlike a cache, "
+                 "nothing downstream ever checks them); the\nparity "
+                 "bit detects (nearly) all of them. The residue in "
+                 "'corrupted (parity)'\nat high flip rates is the "
+                 "classic parity blind spot — an even number of\n"
+                 "flips landing in one entry — which is the argument "
+                 "for SECDED once the\narray grows beyond the paper's "
+                 "32 entries.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension: how much of the serial-model speedup survives once
+ * instructions overlap. The paper counts strictly serial cycles and
+ * concedes its multiplication numbers are optimistic; the overlapped
+ * in-order model (pipelined multiplier, unpipelined divider with
+ * structural hazards) quantifies that concession.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "sim/pipeline.hh"
+
+using namespace memo;
+
+int
+main()
+{
+    bench::printHeader("Serial vs overlapped cycle model (3/13 FPU, "
+                       "mult+div memoized)",
+                       "paper section 3.3's pipelining caveat");
+
+    TextTable t({"application", "serial speedup", "overlap speedup",
+                 "div stalls base", "div stalls memo"});
+
+    CpuConfig serial_cfg;
+    serial_cfg.lat = LatencyConfig::custom(3, 13);
+    CpuModel serial(serial_cfg);
+    PipelineConfig pipe_cfg;
+    pipe_cfg.lat = LatencyConfig::custom(3, 13);
+    InOrderPipeline pipe(pipe_cfg);
+
+    MemoConfig cfg;
+    for (const auto &name : bench::speedupApps()) {
+        const MmKernel &k = mmKernelByName(name);
+        uint64_t s_base = 0, s_memo = 0, p_base = 0, p_memo = 0;
+        uint64_t stalls_base = 0, stalls_memo = 0;
+        MemoBank bank_s = MemoBank::standard(cfg);
+        MemoBank bank_p = MemoBank::standard(cfg);
+        for (const auto &ni : standardImages()) {
+            Trace trace = traceMmKernel(k, ni.image, bench::benchCrop);
+            s_base += serial.run(trace).totalCycles;
+            bank_s.reset();
+            s_memo += serial.run(trace, &bank_s).totalCycles;
+
+            PipelineResult pb = pipe.run(trace);
+            p_base += pb.totalCycles;
+            stalls_base += pb.divStallCycles;
+            bank_p.reset();
+            PipelineResult pm = pipe.run(trace, &bank_p);
+            p_memo += pm.totalCycles;
+            stalls_memo += pm.divStallCycles;
+        }
+        t.addRow({name,
+                  TextTable::fixed(static_cast<double>(s_base) / s_memo,
+                                   2),
+                  TextTable::fixed(static_cast<double>(p_base) / p_memo,
+                                   2),
+                  TextTable::count(stalls_base),
+                  TextTable::count(stalls_memo)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape to check: overlap absorbs part of the serial "
+                 "gain (especially the\nmultiplier's), but memoization "
+                 "still wins by eliminating divider\nstructural-hazard "
+                 "stalls — visible in the stall columns.\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Extension: reuse-distance analysis of the operand streams. The
+ * stack-distance histogram *predicts* the fully associative LRU hit
+ * ratio at every size analytically; this bench validates the
+ * prediction against simulation and reports the table size each
+ * workload needs to reach a 50% division hit ratio — the analytic
+ * explanation of Figure 3 and of the MM-vs-scientific split.
+ */
+
+#include <iostream>
+
+#include "analysis/reuse.hh"
+#include "common.hh"
+
+using namespace memo;
+
+namespace
+{
+
+/** Simulated fully associative LRU hit ratio at @p entries. */
+double
+simulatedFaHitRatio(const Trace &trace, Operation op, unsigned entries)
+{
+    MemoConfig cfg;
+    cfg.entries = entries;
+    cfg.ways = entries; // fully associative
+    MemoTable table(op, cfg);
+    for (const auto &inst : trace.instructions()) {
+        if (memoOperation(inst.cls) != op)
+            continue;
+        if (!table.lookup(inst.a, inst.b))
+            table.update(inst.a, inst.b, inst.result);
+    }
+    return table.stats().lookups ? table.stats().hitRatio() : -1.0;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::printHeader("Reuse-distance analysis of fp-div operand "
+                       "streams",
+                       "analytic companion to Figure 3 / Tables 5-7");
+
+    TextTable t({"workload", "pred@8", "sim@8", "pred@32", "sim@32",
+                 "pred@1024", "sim@1024", "entries for 50%"});
+
+    auto addRow = [&t](const std::string &name, const Trace &trace) {
+        ReuseProfile prof = reuseProfile(trace, Operation::FpDiv);
+        if (prof.accesses() == 0)
+            return;
+        unsigned need = prof.entriesForHitRatio(0.5);
+        t.addRow({name,
+                  TextTable::ratio(prof.predictedHitRatio(8)),
+                  TextTable::ratio(
+                      simulatedFaHitRatio(trace, Operation::FpDiv, 8)),
+                  TextTable::ratio(prof.predictedHitRatio(32)),
+                  TextTable::ratio(simulatedFaHitRatio(
+                      trace, Operation::FpDiv, 32)),
+                  TextTable::ratio(prof.predictedHitRatio(1024)),
+                  TextTable::ratio(simulatedFaHitRatio(
+                      trace, Operation::FpDiv, 1024)),
+                  need ? TextTable::count(need) : "> 8192"});
+    };
+
+    // A representative slice: three MM kernels on one input, and
+    // three scientific analogues.
+    for (const auto &name : {"vcost", "vspatial", "vkmeans"}) {
+        Trace trace = traceMmKernel(mmKernelByName(name),
+                                    imageByName("Muppet1").image,
+                                    bench::benchCrop);
+        addRow(std::string(name) + " (Muppet1)", trace);
+    }
+    for (const auto &name : {"OCEAN", "TRFD", "swim"}) {
+        Trace trace = traceSciWorkload(sciWorkloadByName(name));
+        addRow(name, trace);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape to check: predicted and simulated fully-"
+                 "associative ratios agree\nexactly (they are the same "
+                 "quantity); MM streams reach 50% within tens of\n"
+                 "entries while OCEAN/swim need thousands — the "
+                 "analytic root of the paper's\nMulti-Media-vs-"
+                 "scientific split.\n";
+    return 0;
+}

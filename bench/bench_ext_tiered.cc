@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Extension: tiered MEMO-TABLEs. Compares, for the fp divider on a
+ * 13-cycle unit, the latency-aware effective division cost of
+ *   - a 32-entry table (1-cycle hits),
+ *   - a 2048-entry table (2-cycle hits per the cost model),
+ *   - a 32-entry L1 backed by a 2048-entry L2 (1- and 2-cycle hits).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/tiered_table.hh"
+#include "sim/cost.hh"
+
+using namespace memo;
+
+namespace
+{
+
+struct Effective
+{
+    double hit1 = 0.0;   //!< 1-cycle hits (small / L1)
+    double hit2 = 0.0;   //!< slower hits (big table / L2)
+    double cost = 13.0;  //!< effective cycles per division
+};
+
+Effective
+effectiveCost(double hit1, double hit2, unsigned lat2, unsigned dc)
+{
+    Effective e;
+    e.hit1 = hit1;
+    e.hit2 = hit2;
+    e.cost = hit1 * 1.0 + hit2 * lat2 + (1.0 - hit1 - hit2) * dc;
+    return e;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::printHeader("Tiered MEMO-TABLEs: 32 vs 2048 vs 32+2048 "
+                       "(fp div, 13-cycle divider)",
+                       "extension built on sections 2.4 and Figure 3");
+
+    constexpr unsigned dc = 13;
+    MemoConfig small_cfg; // 32/4
+    MemoConfig big_cfg;
+    big_cfg.entries = 2048;
+    big_cfg.ways = 4;
+    unsigned big_lat = lookupLatency(big_cfg.entries);
+
+    TextTable t({"application", "small hit", "big hit", "L1 hit",
+                 "L2 hit", "eff small", "eff big", "eff tiered"});
+
+    double sum_small = 0, sum_big = 0, sum_tier = 0;
+    int n = 0;
+    for (const auto &name : bench::speedupApps()) {
+        const MmKernel &k = mmKernelByName(name);
+
+        MemoTable small_t(Operation::FpDiv, small_cfg);
+        MemoTable big_t(Operation::FpDiv, big_cfg);
+        TieredMemoTable tiered(Operation::FpDiv, small_cfg, big_cfg);
+
+        bool any = false;
+        for (const auto &ni : standardImages()) {
+            Trace trace = traceMmKernel(k, ni.image, bench::benchCrop);
+            small_t.flush();
+            big_t.flush();
+            for (const auto &inst : trace.instructions()) {
+                if (inst.cls != InstClass::FpDiv)
+                    continue;
+                any = true;
+                if (!small_t.lookup(inst.a, inst.b))
+                    small_t.update(inst.a, inst.b, inst.result);
+                if (!big_t.lookup(inst.a, inst.b))
+                    big_t.update(inst.a, inst.b, inst.result);
+                if (!tiered.lookup(inst.a, inst.b))
+                    tiered.update(inst.a, inst.b, inst.result);
+            }
+        }
+        if (!any)
+            continue;
+
+        double small_hr = small_t.stats().hitRatio();
+        double big_hr = big_t.stats().hitRatio();
+        uint64_t lookups = tiered.l1Stats().lookups;
+        double l1_hr = lookups ? static_cast<double>(
+                                     tiered.l1Stats().allHits()) /
+                                     lookups
+                               : 0.0;
+        double l2_hr = lookups ? static_cast<double>(
+                                     tiered.l2Stats().hits) /
+                                     lookups
+                               : 0.0;
+
+        Effective es = effectiveCost(small_hr, 0.0, big_lat, dc);
+        Effective eb = effectiveCost(0.0, big_hr, big_lat, dc);
+        Effective et = effectiveCost(l1_hr, l2_hr, big_lat, dc);
+
+        t.addRow({name, TextTable::ratio(small_hr),
+                  TextTable::ratio(big_hr), TextTable::ratio(l1_hr),
+                  TextTable::ratio(l2_hr), TextTable::fixed(es.cost, 1),
+                  TextTable::fixed(eb.cost, 1),
+                  TextTable::fixed(et.cost, 1)});
+        sum_small += es.cost;
+        sum_big += eb.cost;
+        sum_tier += et.cost;
+        n++;
+    }
+    t.addRow({"average", "", "", "", "",
+              TextTable::fixed(sum_small / n, 1),
+              TextTable::fixed(sum_big / n, 1),
+              TextTable::fixed(sum_tier / n, 1)});
+    t.print(std::cout);
+
+    std::cout << "\nShape to check: promotion keeps the hot pairs in "
+                 "the 1-cycle level, so the\ntiered design matches the "
+                 "big table's coverage at close to the small\ntable's "
+                 "latency — the lowest effective division cost of the "
+                 "three.\n";
+    return 0;
+}

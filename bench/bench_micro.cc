@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): software cost of the MEMO-TABLE
+ * primitives themselves — lookup hit/miss paths, insertion, the
+ * infinite table, and the Reuse Buffer, for users embedding the
+ * library in their own simulators.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arith/fp.hh"
+#include "core/memo_table.hh"
+#include "core/reuse_buffer.hh"
+
+using namespace memo;
+
+namespace
+{
+
+void
+BM_LookupHit(benchmark::State &state)
+{
+    MemoTable t(Operation::FpDiv, MemoConfig{});
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    for (auto _ : state) {
+        auto v = t.lookup(fpBits(10.0), fpBits(4.0));
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_LookupHit);
+
+void
+BM_LookupMiss(benchmark::State &state)
+{
+    MemoTable t(Operation::FpDiv, MemoConfig{});
+    double a = 1.0;
+    for (auto _ : state) {
+        a += 1.0; // fresh operands: guaranteed miss path
+        auto v = t.lookup(fpBits(a), fpBits(4.0));
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_LookupMiss);
+
+void
+BM_UpdateInsert(benchmark::State &state)
+{
+    MemoTable t(Operation::FpDiv, MemoConfig{});
+    double a = 1.0;
+    for (auto _ : state) {
+        a += 1.0;
+        t.update(fpBits(a), fpBits(4.0), fpBits(a / 4.0));
+    }
+}
+BENCHMARK(BM_UpdateInsert);
+
+void
+BM_AccessMixed(benchmark::State &state)
+{
+    // A realistic mix: a small alphabet so some accesses hit.
+    MemoConfig cfg;
+    cfg.entries = static_cast<unsigned>(state.range(0));
+    MemoTable t(Operation::FpMul, cfg);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        double a = 1.0 + static_cast<double>(i % 64) / 64.0;
+        double b = 1.0 + static_cast<double>((i / 64) % 8);
+        i++;
+        uint64_t r = t.access(fpBits(a), fpBits(b),
+                              [&] { return fpBits(a * b); });
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_AccessMixed)->Arg(32)->Arg(1024);
+
+void
+BM_InfiniteTable(benchmark::State &state)
+{
+    MemoConfig cfg;
+    cfg.infinite = true;
+    MemoTable t(Operation::FpMul, cfg);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        double a = 1.0 + static_cast<double>(i % 4096) / 4096.0;
+        i++;
+        uint64_t r = t.access(fpBits(a), fpBits(3.0),
+                              [&] { return fpBits(a * 3.0); });
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_InfiniteTable);
+
+void
+BM_TrivialDetection(benchmark::State &state)
+{
+    MemoTable t(Operation::FpMul, MemoConfig{});
+    for (auto _ : state) {
+        auto v = t.lookup(fpBits(1.0), fpBits(5.0));
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_TrivialDetection);
+
+void
+BM_ReuseBuffer(benchmark::State &state)
+{
+    ReuseBuffer rb(1024, 4);
+    uint64_t pc = 0;
+    for (auto _ : state) {
+        pc = (pc + 4) & 0xffff;
+        if (!rb.lookup(pc, 1, 2))
+            rb.update(pc, 1, 2, 3);
+    }
+}
+BENCHMARK(BM_ReuseBuffer);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 1: fp multiplication/division latencies of six contemporary
+ * microprocessors, plus the grounding of those numbers in the SRT
+ * divider / sequential multiplier timing models.
+ */
+
+#include <iostream>
+
+#include "arith/units.hh"
+#include "common.hh"
+#include "sim/latency.hh"
+
+using namespace memo;
+
+int
+main()
+{
+    bench::printHeader("Processor latency presets", "Table 1");
+
+    TextTable t({"processor", "fp mult", "fp div"});
+    for (CpuPreset p : LatencyConfig::table1Presets()) {
+        LatencyConfig cfg = LatencyConfig::preset(p);
+        t.addRow({presetName(p),
+                  TextTable::count(cfg[InstClass::FpMul]),
+                  TextTable::count(cfg[InstClass::FpDiv])});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nDigit-recurrence timing models (bits/cycle ->"
+                 " latency):\n\n";
+    TextTable u({"unit", "radix", "latency (cycles)"});
+    u.addRow({"SRT divider", "2 (1 bit/cyc)",
+              TextTable::count(SrtDivider(1, 3).latency())});
+    u.addRow({"SRT divider", "4 (2 bits/cyc)",
+              TextTable::count(SrtDivider(2, 3).latency())});
+    u.addRow({"SRT divider", "16 (4 bits/cyc)",
+              TextTable::count(SrtDivider(4, 3).latency())});
+    u.addRow({"sequential multiplier", "Booth-4 (2 bits/cyc)",
+              TextTable::count(SequentialMultiplier(2, 1).latency())});
+    u.addRow({"tree multiplier", "18 bits/cyc",
+              TextTable::count(SequentialMultiplier(18, 1).latency())});
+    u.addRow({"digit-recurrence sqrt", "4 (2 bits/cyc)",
+              TextTable::count(DigitRecurrenceSqrt(2, 3).latency())});
+    u.print(std::cout);
+
+    std::cout << "\nNote: the radix-4 SRT latency (30) falls inside "
+                 "Table 1's 22-40 cycle range;\nthe tree multiplier "
+                 "matches the 2-5 cycle multipliers.\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+#include "common.hh"
+
+#include <iostream>
+
+#include "img/generate.hh"
+
+namespace memo::bench
+{
+
+const std::vector<std::string> &
+speedupApps()
+{
+    // The nine applications of Tables 11 and 12.
+    static const std::vector<std::string> apps = {
+        "venhance", "vbrf", "vsqrt", "vslope", "vbpf",
+        "vkmeans", "vspatial", "vgauss", "vgpwl",
+    };
+    return apps;
+}
+
+AppCycles
+measureAppCycles(const MmKernel &kernel, const LatencyConfig &lat,
+                 bool memo_mul, bool memo_div)
+{
+    CpuConfig cpu_cfg;
+    cpu_cfg.lat = lat;
+    CpuModel cpu(cpu_cfg);
+
+    MemoBank bank;
+    if (memo_mul)
+        bank.addTable(Operation::FpMul, MemoConfig{});
+    if (memo_div)
+        bank.addTable(Operation::FpDiv, MemoConfig{});
+
+    AppCycles acc;
+    for (const auto &named : standardImages()) {
+        Trace trace = traceMmKernel(kernel, named.image, benchCrop);
+
+        SimResult base = cpu.run(trace);
+        acc.totalCycles += base.totalCycles;
+        acc.fpDivCycles += base.cyclesOf(InstClass::FpDiv);
+        acc.fpMulCycles += base.cyclesOf(InstClass::FpMul);
+
+        if (MemoTable *t = bank.table(Operation::FpMul))
+            t->flush();
+        if (MemoTable *t = bank.table(Operation::FpDiv))
+            t->flush();
+        SimResult memo = cpu.run(trace, &bank);
+        acc.memoTotalCycles += memo.totalCycles;
+    }
+
+    if (const MemoTable *t = bank.table(Operation::FpDiv)) {
+        if (t->stats().lookups)
+            acc.hitRatioFpDiv = t->stats().hitRatio();
+    }
+    if (const MemoTable *t = bank.table(Operation::FpMul)) {
+        if (t->stats().lookups)
+            acc.hitRatioFpMul = t->stats().hitRatio();
+    }
+    return acc;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "\n== " << title << " ==\n"
+              << "   (reproduces " << paper_ref << ")\n\n";
+}
+
+void
+printSciSuite(const std::vector<SciWorkload> &suite)
+{
+    MemoConfig c32;
+    MemoConfig cinf;
+    cinf.infinite = true;
+
+    TextTable t({"application", "int mult", "fp mult", "fp div",
+                 "int mult inf", "fp mult inf", "fp div inf",
+                 "paper 32 (i/m/d)", "paper inf (i/m/d)"});
+
+    double s32[3] = {}, sinf[3] = {};
+    int n32[3] = {}, ninf[3] = {};
+    for (const auto &w : suite) {
+        UnitHits h32 = measureSci(w, c32);
+        UnitHits hinf = measureSci(w, cinf);
+        t.addRow({w.name, TextTable::ratio(h32.intMul),
+                  TextTable::ratio(h32.fpMul),
+                  TextTable::ratio(h32.fpDiv),
+                  TextTable::ratio(hinf.intMul),
+                  TextTable::ratio(hinf.fpMul),
+                  TextTable::ratio(hinf.fpDiv),
+                  TextTable::ratio(w.paper.intMul32) + "/" +
+                      TextTable::ratio(w.paper.fpMul32) + "/" +
+                      TextTable::ratio(w.paper.fpDiv32),
+                  TextTable::ratio(w.paper.intMulInf) + "/" +
+                      TextTable::ratio(w.paper.fpMulInf) + "/" +
+                      TextTable::ratio(w.paper.fpDivInf)});
+        double h32v[3] = {h32.intMul, h32.fpMul, h32.fpDiv};
+        double hinfv[3] = {hinf.intMul, hinf.fpMul, hinf.fpDiv};
+        for (int k = 0; k < 3; k++) {
+            if (h32v[k] >= 0) {
+                s32[k] += h32v[k];
+                n32[k]++;
+            }
+            if (hinfv[k] >= 0) {
+                sinf[k] += hinfv[k];
+                ninf[k]++;
+            }
+        }
+    }
+    auto avg = [](double s, int n) { return n ? s / n : -1.0; };
+    t.addRow({"average", TextTable::ratio(avg(s32[0], n32[0])),
+              TextTable::ratio(avg(s32[1], n32[1])),
+              TextTable::ratio(avg(s32[2], n32[2])),
+              TextTable::ratio(avg(sinf[0], ninf[0])),
+              TextTable::ratio(avg(sinf[1], ninf[1])),
+              TextTable::ratio(avg(sinf[2], ninf[2])), "", ""});
+    t.print(std::cout);
+}
+
+} // namespace memo::bench

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ */
+
+#ifndef MEMO_BENCH_COMMON_HH
+#define MEMO_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "img/generate.hh"
+#include "analysis/table.hh"
+#include "sim/cpu.hh"
+#include "workloads/workload.hh"
+
+namespace memo::bench
+{
+
+/** Crop size used by all hit-ratio benches (see DESIGN.md). */
+constexpr int benchCrop = 96;
+
+/** The nine applications of the speedup tables (Tables 11-13). */
+const std::vector<std::string> &speedupApps();
+
+/**
+ * Aggregate of one MM application over the standard image set: the
+ * concatenated trace (tables flushed between inputs when measuring)
+ * and summed baseline cycle statistics.
+ */
+struct AppCycles
+{
+    double hitRatioFpDiv = -1.0;  //!< 32/4 table, pooled over inputs
+    double hitRatioFpMul = -1.0;
+    uint64_t totalCycles = 0;     //!< baseline (no memo) cycles
+    uint64_t fpDivCycles = 0;
+    uint64_t fpMulCycles = 0;
+    uint64_t memoTotalCycles = 0; //!< cycles with the given bank
+};
+
+/**
+ * Run @p kernel over every standard image under @p lat, with a 32/4
+ * bank attached to the units selected by @p memo_mul / @p memo_div,
+ * and accumulate cycles plus hit ratios.
+ */
+AppCycles measureAppCycles(const MmKernel &kernel,
+                           const LatencyConfig &lat, bool memo_mul,
+                           bool memo_div);
+
+/** Print a top-level header for a bench binary. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+/**
+ * Print one scientific suite's 32/4-vs-infinite hit-ratio table with
+ * the paper's reference columns (the body of Tables 5 and 6).
+ */
+void printSciSuite(const std::vector<SciWorkload> &suite);
+
+} // namespace memo::bench
+
+#endif // MEMO_BENCH_COMMON_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Design-space explorer: evaluate a MEMO-TABLE geometry of your choice
+ * against any bundled workload and input image — the tool an
+ * architect would use to size the table for a given transistor
+ * budget.
+ *
+ * Usage:  ./design_explorer [kernel] [image] [entries] [ways]
+ *   e.g.  ./design_explorer vkmeans fractal 16 2
+ * Run with no arguments for a vkmeans/mandrill 32/4 default and a
+ * list of available kernels and images.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/experiment.hh"
+#include "img/entropy.hh"
+#include "img/generate.hh"
+#include "sim/cpu.hh"
+#include "workloads/workload.hh"
+
+using namespace memo;
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel_name = argc > 1 ? argv[1] : "vkmeans";
+    std::string image_name = argc > 2 ? argv[2] : "mandrill";
+    unsigned entries = argc > 3
+                           ? static_cast<unsigned>(std::atoi(argv[3]))
+                           : 32;
+    unsigned ways = argc > 4
+                        ? static_cast<unsigned>(std::atoi(argv[4]))
+                        : 4;
+
+    if (kernel_name == "--list") {
+        std::printf("kernels:");
+        for (const auto &k : mmKernels())
+            std::printf(" %s", k.name.c_str());
+        std::printf("\nimages:");
+        for (const auto &ni : standardImages())
+            std::printf(" %s", ni.name.c_str());
+        std::printf("\n");
+        return 0;
+    }
+
+    MemoConfig cfg;
+    cfg.entries = entries;
+    cfg.ways = ways;
+    if (std::string err = cfg.validate(); !err.empty()) {
+        std::fprintf(stderr, "bad geometry: %s\n", err.c_str());
+        return 1;
+    }
+
+    const MmKernel &kernel = mmKernelByName(kernel_name);
+    const NamedImage &input = imageByName(image_name);
+
+    std::printf("%s on %s (%dx%d %s), MEMO-TABLEs %s\n\n",
+                kernel.name.c_str(), input.name.c_str(),
+                input.image.width(), input.image.height(),
+                std::string(pixelTypeName(input.image.type())).c_str(),
+                cfg.describe().c_str());
+
+    Trace trace = traceMmKernel(kernel, input.image);
+    MemoBank bank = MemoBank::standard(cfg);
+    replayMemo(trace, bank);
+    UnitHits h = hitsOf(bank);
+
+    auto show = [](const char *name, double v) {
+        if (v < 0)
+            std::printf("  %-10s -\n", name);
+        else
+            std::printf("  %-10s %.2f\n", name, v);
+    };
+    std::printf("hit ratios:\n");
+    show("int mult", h.intMul);
+    show("fp mult", h.fpMul);
+    show("fp div", h.fpDiv);
+
+    CpuModel cpu;
+    SimResult base = cpu.run(trace);
+    bank.reset();
+    SimResult memo = cpu.run(trace, &bank);
+    std::printf("\ncycles: %llu -> %llu (speedup %.3fx on the "
+                "3/13-cycle FPU)\n",
+                static_cast<unsigned long long>(base.totalCycles),
+                static_cast<unsigned long long>(memo.totalCycles),
+                static_cast<double>(base.totalCycles) /
+                    memo.totalCycles);
+
+    // Hardware budget, as section 2.4 accounts it: tag + value words.
+    unsigned tag_words = 2; // two double-precision operands
+    uint64_t bytes = static_cast<uint64_t>(entries) *
+                     (tag_words + 1) * 8;
+    std::printf("table cost: %llu bytes of storage per unit "
+                "(3 tables: %llu bytes)\n",
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(3 * bytes));
+    return 0;
+}

@@ -1,0 +1,148 @@
+#include "experiment.hh"
+
+#include <algorithm>
+
+#include "img/generate.hh"
+
+namespace memo
+{
+
+Image
+cropForTrace(const Image &img, int max_dim)
+{
+    if (img.width() <= max_dim && img.height() <= max_dim)
+        return img;
+    int w = std::min(img.width(), max_dim);
+    int h = std::min(img.height(), max_dim);
+    int x0 = (img.width() - w) / 2;
+    int y0 = (img.height() - h) / 2;
+    Image out(w, h, img.bands(), img.type());
+    for (int y = 0; y < h; y++)
+        for (int x = 0; x < w; x++)
+            for (int b = 0; b < img.bands(); b++)
+                out.at(x, y, b) = img.at(x0 + x, y0 + y, b);
+    return out;
+}
+
+Trace
+traceMmKernel(const MmKernel &kernel, const Image &input, int max_dim)
+{
+    Trace trace;
+    trace.reserve(1 << 20);
+    Recorder rec(trace);
+    Image view = cropForTrace(input, max_dim);
+    kernel.run(rec, view, nullptr);
+    return trace;
+}
+
+Trace
+traceSciWorkload(const SciWorkload &workload)
+{
+    Trace trace;
+    trace.reserve(1 << 20);
+    Recorder rec(trace);
+    workload.run(rec);
+    return trace;
+}
+
+void
+replayMemo(const Trace &trace, MemoBank &bank)
+{
+    for (const Instruction &inst : trace.instructions()) {
+        auto op = memoOperation(inst.cls);
+        if (!op)
+            continue;
+        MemoTable *table = bank.table(*op);
+        if (!table)
+            continue;
+        if (!table->lookup(inst.a, inst.b))
+            table->update(inst.a, inst.b, inst.result);
+    }
+}
+
+namespace
+{
+
+double
+ratioOrAbsent(const MemoBank &bank, Operation op)
+{
+    const MemoTable *t = bank.table(op);
+    if (!t || t->stats().lookups == 0)
+        return -1.0;
+    return t->stats().hitRatio();
+}
+
+} // anonymous namespace
+
+UnitHits
+hitsOf(const MemoBank &bank)
+{
+    UnitHits h;
+    h.intMul = ratioOrAbsent(bank, Operation::IntMul);
+    h.fpMul = ratioOrAbsent(bank, Operation::FpMul);
+    h.fpDiv = ratioOrAbsent(bank, Operation::FpDiv);
+    return h;
+}
+
+UnitHits
+measureMmKernel(const MmKernel &kernel, const MemoConfig &cfg,
+                int max_dim)
+{
+    MemoBank bank = MemoBank::standard(cfg);
+    for (const auto &named : standardImages()) {
+        Trace trace = traceMmKernel(kernel, named.image, max_dim);
+        // Independent inputs: flush contents, pool the statistics.
+        bank.table(Operation::IntMul)->flush();
+        bank.table(Operation::FpMul)->flush();
+        bank.table(Operation::FpDiv)->flush();
+        replayMemo(trace, bank);
+    }
+    return hitsOf(bank);
+}
+
+UnitHits
+measureMmKernelOnImage(const MmKernel &kernel, const Image &input,
+                       const MemoConfig &cfg, int max_dim)
+{
+    MemoBank bank = MemoBank::standard(cfg);
+    Trace trace = traceMmKernel(kernel, input, max_dim);
+    replayMemo(trace, bank);
+    return hitsOf(bank);
+}
+
+UnitHits
+measureSci(const SciWorkload &workload, const MemoConfig &cfg)
+{
+    MemoBank bank = MemoBank::standard(cfg);
+    Trace trace = traceSciWorkload(workload);
+    replayMemo(trace, bank);
+    return hitsOf(bank);
+}
+
+std::vector<UnitHits>
+measureMmKernelConfigs(const MmKernel &kernel,
+                       const std::vector<MemoConfig> &cfgs, int max_dim)
+{
+    std::vector<MemoBank> banks;
+    banks.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        banks.push_back(MemoBank::standard(cfg));
+
+    for (const auto &named : standardImages()) {
+        Trace trace = traceMmKernel(kernel, named.image, max_dim);
+        for (auto &bank : banks) {
+            bank.table(Operation::IntMul)->flush();
+            bank.table(Operation::FpMul)->flush();
+            bank.table(Operation::FpDiv)->flush();
+            replayMemo(trace, bank);
+        }
+    }
+
+    std::vector<UnitHits> out;
+    out.reserve(banks.size());
+    for (const auto &bank : banks)
+        out.push_back(hitsOf(bank));
+    return out;
+}
+
+} // namespace memo

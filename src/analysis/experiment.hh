@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment driver: turns workloads into traces and traces into
+ * per-unit MEMO-TABLE hit ratios, the quantities the paper's tables
+ * report.
+ */
+
+#ifndef MEMO_ANALYSIS_EXPERIMENT_HH
+#define MEMO_ANALYSIS_EXPERIMENT_HH
+
+#include "core/bank.hh"
+#include "img/image.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace memo
+{
+
+/**
+ * Centre-crop an image for trace generation. Full-size 1990s inputs
+ * yield multi-hundred-megabyte traces; hit ratios are driven by local
+ * value statistics, which a centred crop preserves.
+ */
+Image cropForTrace(const Image &img, int max_dim = 128);
+
+/** Record one MM kernel over one input image. */
+Trace traceMmKernel(const MmKernel &kernel, const Image &input,
+                    int max_dim = 128);
+
+/** Record one scientific workload. */
+Trace traceSciWorkload(const SciWorkload &workload);
+
+/** Feed every memoizable instruction of a trace through the bank. */
+void replayMemo(const Trace &trace, MemoBank &bank);
+
+/** Hit ratios of the three paper units; negative when the unit saw no
+ *  non-trivial traffic. */
+struct UnitHits
+{
+    double intMul = -1.0;
+    double fpMul = -1.0;
+    double fpDiv = -1.0;
+};
+
+/** Extract per-unit hit ratios from a bank. */
+UnitHits hitsOf(const MemoBank &bank);
+
+/**
+ * Hit ratios of an MM kernel aggregated over the standard image set
+ * (tables flushed between inputs, hits/lookups pooled), mirroring the
+ * paper's 8-14 inputs per application.
+ */
+UnitHits measureMmKernel(const MmKernel &kernel, const MemoConfig &cfg,
+                         int max_dim = 128);
+
+/** Hit ratios of one (kernel, image) pair. */
+UnitHits measureMmKernelOnImage(const MmKernel &kernel,
+                                const Image &input,
+                                const MemoConfig &cfg,
+                                int max_dim = 128);
+
+/** Hit ratios of a scientific workload. */
+UnitHits measureSci(const SciWorkload &workload, const MemoConfig &cfg);
+
+/**
+ * Measure one MM kernel under many table configurations while
+ * generating each (kernel, image) trace only once — the sweep benches'
+ * workhorse (Figures 3/4, Tables 9/10 and the ablations).
+ *
+ * @return one UnitHits per configuration, index-aligned with @p cfgs
+ */
+std::vector<UnitHits> measureMmKernelConfigs(
+    const MmKernel &kernel, const std::vector<MemoConfig> &cfgs,
+    int max_dim = 128);
+
+} // namespace memo
+
+#endif // MEMO_ANALYSIS_EXPERIMENT_HH

@@ -1,0 +1,146 @@
+#include "lmfit.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace memo
+{
+
+namespace
+{
+
+/** Solve the small dense system a*x = b by Gaussian elimination with
+ *  partial pivoting. @return false when singular. */
+bool
+solveDense(std::vector<std::vector<double>> a, std::vector<double> b,
+           std::vector<double> &x)
+{
+    size_t n = b.size();
+    for (size_t col = 0; col < n; col++) {
+        size_t pivot = col;
+        for (size_t r = col + 1; r < n; r++) {
+            if (std::fabs(a[r][col]) > std::fabs(a[pivot][col]))
+                pivot = r;
+        }
+        if (std::fabs(a[pivot][col]) < 1e-14)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (size_t r = col + 1; r < n; r++) {
+            double f = a[r][col] / a[col][col];
+            for (size_t c = col; c < n; c++)
+                a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    x.assign(n, 0.0);
+    for (size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (size_t c = i + 1; c < n; c++)
+            s -= a[i][c] * x[c];
+        x[i] = s / a[i][i];
+    }
+    return true;
+}
+
+double
+chi2(const std::function<double(double, const std::vector<double> &)>
+         &model,
+     const std::vector<double> &p, const std::vector<double> &xs,
+     const std::vector<double> &ys)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < xs.size(); i++) {
+        double r = ys[i] - model(xs[i], p);
+        s += r * r;
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+FitResult
+levenbergMarquardt(const std::function<double(double,
+                                              const std::vector<double> &)>
+                       &model,
+                   std::vector<double> initial,
+                   const std::vector<double> &xs,
+                   const std::vector<double> &ys,
+                   unsigned max_iterations)
+{
+    assert(xs.size() == ys.size() && !xs.empty());
+    size_t np = initial.size();
+    std::vector<double> p = std::move(initial);
+    double lambda = 1e-3;
+    double cost = chi2(model, p, xs, ys);
+
+    FitResult res;
+    for (res.iterations = 0; res.iterations < max_iterations;
+         res.iterations++) {
+        // Numerical Jacobian.
+        std::vector<std::vector<double>> jt_j(
+            np, std::vector<double>(np, 0.0));
+        std::vector<double> jt_r(np, 0.0);
+        for (size_t i = 0; i < xs.size(); i++) {
+            double f0 = model(xs[i], p);
+            double r = ys[i] - f0;
+            std::vector<double> grad(np);
+            for (size_t k = 0; k < np; k++) {
+                double h = std::max(1e-7, 1e-7 * std::fabs(p[k]));
+                std::vector<double> ph = p;
+                ph[k] += h;
+                grad[k] = (model(xs[i], ph) - f0) / h;
+            }
+            for (size_t a = 0; a < np; a++) {
+                jt_r[a] += grad[a] * r;
+                for (size_t b = 0; b < np; b++)
+                    jt_j[a][b] += grad[a] * grad[b];
+            }
+        }
+
+        // Damped normal equations.
+        auto damped = jt_j;
+        for (size_t k = 0; k < np; k++)
+            damped[k][k] *= 1.0 + lambda;
+        std::vector<double> step;
+        if (!solveDense(damped, jt_r, step)) {
+            lambda *= 10.0;
+            continue;
+        }
+        std::vector<double> cand = p;
+        for (size_t k = 0; k < np; k++)
+            cand[k] += step[k];
+
+        double cand_cost = chi2(model, cand, xs, ys);
+        if (cand_cost < cost) {
+            double improvement = cost - cand_cost;
+            p = std::move(cand);
+            cost = cand_cost;
+            lambda = std::max(lambda * 0.3, 1e-12);
+            if (improvement < 1e-12 * (1.0 + cost)) {
+                res.converged = true;
+                break;
+            }
+        } else {
+            lambda *= 10.0;
+            if (lambda > 1e12) {
+                res.converged = true;
+                break;
+            }
+        }
+    }
+    res.params = std::move(p);
+    res.residualSumSquares = cost;
+    return res;
+}
+
+FitResult
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    auto line = [](double x, const std::vector<double> &p) {
+        return p[0] + p[1] * x;
+    };
+    return levenbergMarquardt(line, {0.5, -0.05}, xs, ys);
+}
+
+} // namespace memo

@@ -1,0 +1,189 @@
+#include "reuse.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "arith/trivial.hh"
+#include "arith/fp.hh"
+
+namespace memo
+{
+
+namespace
+{
+
+/** Fenwick tree counting currently-live stack positions. */
+class Fenwick
+{
+  public:
+    explicit Fenwick(size_t n) : bit(n + 1, 0) {}
+
+    void
+    add(size_t i, int delta)
+    {
+        for (i++; i < bit.size(); i += i & (~i + 1))
+            bit[i] += delta;
+    }
+
+    /** Sum of [0, i]. */
+    int64_t
+    sum(size_t i) const
+    {
+        int64_t s = 0;
+        for (i++; i > 0; i -= i & (~i + 1))
+            s += bit[i];
+        return s;
+    }
+
+  private:
+    std::vector<int64_t> bit;
+};
+
+/** Mirror of MemoTable's trivial filtering for profile parity. */
+bool
+isTrivial(Operation op, uint64_t a, uint64_t b)
+{
+    switch (op) {
+      case Operation::IntMul:
+        return trivialIntMul(static_cast<int64_t>(a),
+                             static_cast<int64_t>(b))
+            .has_value();
+      case Operation::FpMul:
+        return trivialFpMul(fpFromBits(a), fpFromBits(b)).has_value();
+      case Operation::FpDiv:
+        return trivialFpDiv(fpFromBits(a), fpFromBits(b)).has_value();
+      default:
+        return false;
+    }
+}
+
+struct PairHash
+{
+    size_t
+    operator()(const std::pair<uint64_t, uint64_t> &k) const
+    {
+        uint64_t h = k.first * 0x9e3779b97f4a7c15ULL;
+        h ^= h >> 32;
+        h += k.second * 0xc2b2ae3d27d4eb4fULL;
+        return static_cast<size_t>(h ^ (h >> 29));
+    }
+};
+
+} // anonymous namespace
+
+ReuseProfile::ReuseProfile(std::vector<uint64_t> histogram,
+                           uint64_t cold_)
+    : hist(std::move(histogram)), cold(cold_)
+{
+    total = cold;
+    for (uint64_t c : hist)
+        total += c;
+}
+
+double
+ReuseProfile::predictedHitRatio(unsigned entries) const
+{
+    if (total == 0)
+        return 0.0;
+    uint64_t hits = 0;
+    // Position d+1 <= entries, and the overflow bin never hits.
+    size_t limit = std::min<size_t>(entries,
+                                    hist.size() > 0 ? hist.size() - 1
+                                                    : 0);
+    for (size_t d = 0; d < limit; d++)
+        hits += hist[d];
+    return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+unsigned
+ReuseProfile::entriesForHitRatio(double target) const
+{
+    for (unsigned n = 1; n < hist.size(); n++) {
+        if (predictedHitRatio(n) >= target)
+            return n;
+    }
+    return 0;
+}
+
+ReuseProfile
+reuseProfile(const Trace &trace, Operation op, unsigned max_distance)
+{
+    InstClass want = instClassOf(op);
+    bool commutative = isCommutative(op);
+
+    // First pass: collect the access sequence.
+    std::vector<std::pair<uint64_t, uint64_t>> keys;
+    for (const Instruction &inst : trace.instructions()) {
+        if (inst.cls != want)
+            continue;
+        if (isTrivial(op, inst.a, inst.b))
+            continue;
+        uint64_t a = inst.a, b = isUnary(op) ? 0 : inst.b;
+        if (commutative && b < a)
+            std::swap(a, b);
+        keys.emplace_back(a, b);
+    }
+
+    // Second pass: stack distances via last-access times and a
+    // Fenwick tree over live positions (O(n log n)).
+    std::vector<uint64_t> hist(static_cast<size_t>(max_distance) + 1,
+                               0);
+    uint64_t cold = 0;
+    Fenwick live(keys.size());
+    std::unordered_map<std::pair<uint64_t, uint64_t>, size_t, PairHash>
+        last;
+    last.reserve(keys.size() / 4 + 16);
+
+    for (size_t t = 0; t < keys.size(); t++) {
+        auto it = last.find(keys[t]);
+        if (it == last.end()) {
+            cold++;
+        } else {
+            size_t prev = it->second;
+            // Distinct keys touched strictly between prev and t.
+            int64_t between = live.sum(t) - live.sum(prev);
+            uint64_t d = static_cast<uint64_t>(between);
+            hist[std::min<uint64_t>(d, max_distance)]++;
+            live.add(prev, -1);
+        }
+        live.add(t, +1);
+        last[keys[t]] = t;
+    }
+    return ReuseProfile(std::move(hist), cold);
+}
+
+std::vector<HotPair>
+hottestPairs(const Trace &trace, Operation op, size_t k)
+{
+    InstClass want = instClassOf(op);
+    bool commutative = isCommutative(op);
+    std::unordered_map<std::pair<uint64_t, uint64_t>, uint64_t,
+                       PairHash>
+        counts;
+    for (const Instruction &inst : trace.instructions()) {
+        if (inst.cls != want)
+            continue;
+        if (isTrivial(op, inst.a, inst.b))
+            continue;
+        uint64_t a = inst.a, b = isUnary(op) ? 0 : inst.b;
+        if (commutative && b < a)
+            std::swap(a, b);
+        counts[{a, b}]++;
+    }
+
+    std::vector<HotPair> pairs;
+    pairs.reserve(counts.size());
+    for (const auto &[key, count] : counts)
+        pairs.push_back({key.first, key.second, count});
+    size_t top = std::min(k, pairs.size());
+    std::partial_sort(pairs.begin(), pairs.begin() +
+                                         static_cast<long>(top),
+                      pairs.end(),
+                      [](const HotPair &x, const HotPair &y) {
+                          return x.count > y.count;
+                      });
+    pairs.resize(top);
+    return pairs;
+}
+
+} // namespace memo

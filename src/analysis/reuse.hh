@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reuse-distance (LRU stack distance) analysis of operand streams.
+ *
+ * The hit ratio of a fully associative LRU MEMO-TABLE with n entries
+ * is exactly the fraction of accesses whose stack distance is <= n,
+ * so the reuse-distance histogram of a workload's operand pairs
+ * predicts the whole size sweep of Figure 3 analytically and explains
+ * *why* a suite scales (Multi-Media pairs recur at short distances;
+ * the Perfect/SPEC pairs of Tables 5/6 recur at distances far beyond
+ * any practical table). This is the quantitative form of the
+ * Franklin/Sohi register-instance argument the paper cites.
+ */
+
+#ifndef MEMO_ANALYSIS_REUSE_HH
+#define MEMO_ANALYSIS_REUSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/op.hh"
+#include "trace/trace.hh"
+
+namespace memo
+{
+
+/** Reuse-distance histogram of one unit's operand-pair stream. */
+class ReuseProfile
+{
+  public:
+    /**
+     * @param histogram histogram[d] counts accesses with stack
+     *        distance exactly d+1 (d capped at histogram.size()-1)
+     * @param cold first-touch accesses (infinite distance)
+     */
+    ReuseProfile(std::vector<uint64_t> histogram, uint64_t cold);
+
+    /** Total accesses analyzed (excluding trivial operations). */
+    uint64_t accesses() const { return total; }
+
+    /** First-touch (compulsory-miss) accesses. */
+    uint64_t coldMisses() const { return cold; }
+
+    /**
+     * Predicted hit ratio of a fully associative LRU table with
+     * @p entries entries: P(stack distance <= entries).
+     */
+    double predictedHitRatio(unsigned entries) const;
+
+    /** The distance at which the predicted ratio reaches @p target
+     *  (table size needed), or 0 when unreachable. */
+    unsigned entriesForHitRatio(double target) const;
+
+    const std::vector<uint64_t> &histogram() const { return hist; }
+
+  private:
+    std::vector<uint64_t> hist;
+    uint64_t cold;
+    uint64_t total;
+};
+
+/**
+ * Compute the reuse-distance profile of @p op's operand pairs in
+ * @p trace. Commutative operand pairs are canonicalized; trivial
+ * operations are excluded (matching TrivialMode::NonTrivialOnly
+ * accounting). Distances above @p max_distance land in the last bin.
+ */
+ReuseProfile reuseProfile(const Trace &trace, Operation op,
+                          unsigned max_distance = 8192);
+
+/** One frequently recurring operand pair. */
+struct HotPair
+{
+    uint64_t aBits;   //!< first operand (canonical order)
+    uint64_t bBits;   //!< second operand (0 for unary ops)
+    uint64_t count;   //!< dynamic occurrences
+};
+
+/**
+ * The @p k most frequent non-trivial operand pairs of @p op — the
+ * diagnostic a workload author uses to see *what* a table would
+ * memoize. Sorted by descending count.
+ */
+std::vector<HotPair> hottestPairs(const Trace &trace, Operation op,
+                                  size_t k = 10);
+
+} // namespace memo
+
+#endif // MEMO_ANALYSIS_REUSE_HH

@@ -1,0 +1,126 @@
+#include "table.hh"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace memo
+{
+
+TextTable::TextTable(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers.size());
+    for (size_t c = 0; c < headers.size(); c++)
+        width[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); c++)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+        for (size_t c = 0; c < headers.size(); c++) {
+            os << "+";
+            os << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); c++) {
+            os << "| ";
+            // Left-align the first column, right-align the numbers.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(width[c])) << cells[c]
+               << " ";
+        }
+        os << "|\n";
+    };
+
+    rule();
+    line(headers);
+    rule();
+    for (const auto &row : rows)
+        line(row);
+    rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto cell = [&os](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos) {
+            os << s;
+            return;
+        }
+        os << '"';
+        for (char c : s) {
+            if (c == '"')
+                os << '"';
+            os << c;
+        }
+        os << '"';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); c++) {
+            if (c)
+                os << ',';
+            cell(cells[c]);
+        }
+        os << '\n';
+    };
+    line(headers);
+    for (const auto &row : rows)
+        line(row);
+}
+
+std::string
+TextTable::ratio(double v)
+{
+    if (v < 0.0 || std::isnan(v))
+        return "-";
+    std::ostringstream os;
+    if (v >= 0.995) {
+        os << std::fixed << std::setprecision(2) << v;
+        return os.str();
+    }
+    os << std::fixed << std::setprecision(2) << v;
+    std::string s = os.str();
+    // The paper prints ".45", not "0.45".
+    if (s.size() > 1 && s[0] == '0')
+        s.erase(0, 1);
+    return s;
+}
+
+std::string
+TextTable::fixed(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+TextTable::count(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace memo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fixed-width text table formatting for the benchmark harnesses, which
+ * print the same rows the paper's tables report.
+ */
+
+#ifndef MEMO_ANALYSIS_TABLE_HH
+#define MEMO_ANALYSIS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace memo
+{
+
+/** A simple left/right aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Render as CSV (for gnuplot/spreadsheets). Cells containing
+     * commas or quotes are quoted per RFC 4180.
+     */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a ratio the paper's way: ".45", "1.00", or "-". */
+    static std::string ratio(double v);
+
+    /** Format with fixed decimals, e.g. fixed(1.234, 2) -> "1.23". */
+    static std::string fixed(double v, int decimals);
+
+    /** Format an integer count. */
+    static std::string count(uint64_t v);
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace memo
+
+#endif // MEMO_ANALYSIS_TABLE_HH

@@ -1,0 +1,31 @@
+#include "fp.hh"
+
+namespace memo
+{
+
+uint64_t
+fpSignificand(double v)
+{
+    uint64_t frac = fpFraction(v);
+    if (fpBiasedExponent(v) != 0)
+        frac |= uint64_t{1} << fpMantissaBits;
+    return frac;
+}
+
+bool
+fpIsNormal(double v)
+{
+    unsigned e = fpBiasedExponent(v);
+    return e != 0 && e != 0x7ff;
+}
+
+double
+fpCompose(unsigned sign, unsigned biased_exponent, uint64_t fraction)
+{
+    uint64_t bits = (uint64_t{sign & 1} << 63) |
+                    (uint64_t{biased_exponent & 0x7ff} << fpMantissaBits) |
+                    (fraction & ((uint64_t{1} << fpMantissaBits) - 1));
+    return fpFromBits(bits);
+}
+
+} // namespace memo

@@ -1,0 +1,67 @@
+#include "hash.hh"
+
+#include <bit>
+#include <cassert>
+
+#include "fp.hh"
+
+namespace memo
+{
+
+namespace
+{
+
+inline uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+}
+
+/** Top @p bits of the 52-bit mantissa field of a raw double pattern. */
+inline uint64_t
+topMantissa(uint64_t fp_bits, unsigned bits)
+{
+    uint64_t frac = fp_bits & ((uint64_t{1} << fpMantissaBits) - 1);
+    if (bits == 0)
+        return 0;
+    if (bits >= fpMantissaBits)
+        return frac;
+    return frac >> (fpMantissaBits - bits);
+}
+
+} // anonymous namespace
+
+uint64_t
+indexInt(uint64_t a, uint64_t b, unsigned index_bits)
+{
+    return (a ^ b) & mask(index_bits);
+}
+
+uint64_t
+indexFp(uint64_t a_bits, uint64_t b_bits, unsigned index_bits)
+{
+    return topMantissa(a_bits, index_bits) ^ topMantissa(b_bits, index_bits);
+}
+
+uint64_t
+indexFpSum(uint64_t a_bits, uint64_t b_bits, unsigned index_bits)
+{
+    return (topMantissa(a_bits, index_bits) +
+            topMantissa(b_bits, index_bits)) &
+           mask(index_bits);
+}
+
+uint64_t
+indexFpUnary(uint64_t a_bits, unsigned index_bits)
+{
+    return topMantissa(a_bits, index_bits);
+}
+
+unsigned
+log2Exact(uint64_t v)
+{
+    assert(v != 0 && std::has_single_bit(v));
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+} // namespace memo

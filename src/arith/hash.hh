@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MEMO-TABLE index hashing.
+ *
+ * The paper (section 3.1): "Integer operands are hashed by performing an
+ * exclusive or (XOR) on the n least significant bits of the two operands
+ * (where n is the number of sets in the MEMO-TABLE). For floating point
+ * operations, the n most significant bits of the mantissas of both
+ * operands are XORed in order to receive an index into the MEMO-TABLE."
+ *
+ * Here n is the number of index *bits*, i.e. log2(number of sets).
+ */
+
+#ifndef MEMO_ARITH_HASH_HH
+#define MEMO_ARITH_HASH_HH
+
+#include <cstdint>
+
+namespace memo
+{
+
+/** XOR the @p index_bits least significant bits of two integer operands. */
+uint64_t indexInt(uint64_t a, uint64_t b, unsigned index_bits);
+
+/**
+ * XOR the @p index_bits most significant mantissa bits of two doubles
+ * (given as raw bit patterns).
+ *
+ * Note: this literal scheme degenerates for squaring operations —
+ * x*x XORs a mantissa with itself, indexing set 0 for every x. See
+ * indexFpSum for the variant that avoids the pathology.
+ */
+uint64_t indexFp(uint64_t a_bits, uint64_t b_bits, unsigned index_bits);
+
+/**
+ * Additive variant: the top mantissa fields of both operands are
+ * *added* modulo the set count. Symmetric (commutative lookups index
+ * the same set in either operand order) and square-safe (x*x maps to
+ * 2*top(x), which still spreads across sets). An n-bit adder in
+ * hardware; used as the default fp indexing scheme.
+ */
+uint64_t indexFpSum(uint64_t a_bits, uint64_t b_bits,
+                    unsigned index_bits);
+
+/**
+ * Index hash for unary operations (sqrt, log, trig extension units):
+ * the top mantissa bits of the single operand.
+ */
+uint64_t indexFpUnary(uint64_t a_bits, unsigned index_bits);
+
+/** Integer log2 of a power of two. Asserts on non-powers. */
+unsigned log2Exact(uint64_t v);
+
+} // namespace memo
+
+#endif // MEMO_ARITH_HASH_HH

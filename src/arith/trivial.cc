@@ -1,0 +1,80 @@
+#include "trivial.hh"
+
+#include <cmath>
+
+#include "fp.hh"
+
+namespace memo
+{
+
+std::optional<Trivial>
+trivialFpMul(double a, double b, bool extended)
+{
+    if (std::isnan(a) || std::isnan(b) || std::isinf(a) || std::isinf(b))
+        return std::nullopt;
+    if (fpIsZero(a) || fpIsZero(b))
+        return Trivial{TrivialKind::MulByZero, a * b};
+    if (a == 1.0)
+        return Trivial{TrivialKind::MulByOne, b};
+    if (b == 1.0)
+        return Trivial{TrivialKind::MulByOne, a};
+    if (extended) {
+        if (a == -1.0)
+            return Trivial{TrivialKind::MulByNegOne, -b};
+        if (b == -1.0)
+            return Trivial{TrivialKind::MulByNegOne, -a};
+    }
+    return std::nullopt;
+}
+
+std::optional<Trivial>
+trivialFpDiv(double a, double b, bool extended)
+{
+    if (std::isnan(a) || std::isnan(b) || std::isinf(a) || std::isinf(b))
+        return std::nullopt;
+    if (fpIsZero(b))
+        return std::nullopt; // division by zero is exceptional, not trivial
+    if (b == 1.0)
+        return Trivial{TrivialKind::DivByOne, a};
+    if (fpIsZero(a))
+        return Trivial{TrivialKind::ZeroDividend, a / b};
+    if (extended) {
+        if (b == -1.0)
+            return Trivial{TrivialKind::DivByNegOne, -a};
+        if (a == b)
+            return Trivial{TrivialKind::DivBySelf, 1.0};
+    }
+    return std::nullopt;
+}
+
+std::optional<Trivial>
+trivialFpSqrt(double a, bool extended)
+{
+    if (!extended)
+        return std::nullopt;
+    if (fpIsZero(a))
+        return Trivial{TrivialKind::SqrtOfZero, a};
+    if (a == 1.0)
+        return Trivial{TrivialKind::SqrtOfOne, 1.0};
+    return std::nullopt;
+}
+
+std::optional<TrivialInt>
+trivialIntMul(int64_t a, int64_t b, bool extended)
+{
+    if (a == 0 || b == 0)
+        return TrivialInt{TrivialKind::MulByZero, 0};
+    if (a == 1)
+        return TrivialInt{TrivialKind::MulByOne, b};
+    if (b == 1)
+        return TrivialInt{TrivialKind::MulByOne, a};
+    if (extended) {
+        if (a == -1)
+            return TrivialInt{TrivialKind::MulByNegOne, -b};
+        if (b == -1)
+            return TrivialInt{TrivialKind::MulByNegOne, -a};
+    }
+    return std::nullopt;
+}
+
+} // namespace memo

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Classification of trivial arithmetic operations.
+ *
+ * The paper distinguishes "trivial" operations — multiplying by 1 or 0,
+ * dividing by 1, dividing 0 — which complete in a few cycles anyhow and
+ * therefore should not occupy MEMO-TABLE entries. Table 9 studies three
+ * policies: caching all operations, caching only non-trivial operations,
+ * and integrating a trivial-operation detector into the MEMO-TABLE so
+ * that trivial operations count as hits without being stored.
+ *
+ * An "extended" classification (Richardson-style: x*-1, x/x, x/-1,
+ * sqrt(0), sqrt(1)) is provided as an ablation knob; the paper's results
+ * use only the basic set.
+ */
+
+#ifndef MEMO_ARITH_TRIVIAL_HH
+#define MEMO_ARITH_TRIVIAL_HH
+
+#include <cstdint>
+#include <optional>
+
+namespace memo
+{
+
+/** Reason an operation was classified as trivial. */
+enum class TrivialKind
+{
+    MulByZero,    //!< a*0 or 0*b
+    MulByOne,     //!< a*1 or 1*b
+    DivByOne,     //!< a/1
+    ZeroDividend, //!< 0/b (b != 0)
+    MulByNegOne,  //!< extended set only
+    DivByNegOne,  //!< extended set only
+    DivBySelf,    //!< extended set only (x/x, x finite nonzero)
+    SqrtOfZero,   //!< extended set only
+    SqrtOfOne,    //!< extended set only
+};
+
+/** A detected trivial operation: its kind and the (exact) result. */
+struct Trivial
+{
+    TrivialKind kind;
+    double result;
+};
+
+/**
+ * Classify a floating point multiplication.
+ *
+ * @param a first operand
+ * @param b second operand
+ * @param extended also detect the Richardson-style extended set
+ * @return the trivial classification, or nullopt for a non-trivial op
+ */
+std::optional<Trivial> trivialFpMul(double a, double b,
+                                    bool extended = false);
+
+/** Classify a floating point division (see trivialFpMul). */
+std::optional<Trivial> trivialFpDiv(double a, double b,
+                                    bool extended = false);
+
+/** Classify a floating point square root (extended set only). */
+std::optional<Trivial> trivialFpSqrt(double a, bool extended = false);
+
+/** Integer-multiply trivial classification result. */
+struct TrivialInt
+{
+    TrivialKind kind;
+    int64_t result;
+};
+
+/** Classify an integer multiplication. */
+std::optional<TrivialInt> trivialIntMul(int64_t a, int64_t b,
+                                        bool extended = false);
+
+} // namespace memo
+
+#endif // MEMO_ARITH_TRIVIAL_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A bank of MEMO-TABLEs, one per memoized computation unit.
+ *
+ * The simulated system of the paper (section 3.1) "consists of
+ * MEMO-TABLES adjacent to the integer multiplier, fp multiplier and fp
+ * divider"; the extension experiments also attach tables to the sqrt,
+ * log and trigonometric units.
+ */
+
+#ifndef MEMO_CORE_BANK_HH
+#define MEMO_CORE_BANK_HH
+
+#include <map>
+
+#include "core/memo_table.hh"
+
+namespace memo
+{
+
+/** The per-unit MEMO-TABLEs of one simulated processor. */
+class MemoBank
+{
+  public:
+    MemoBank() = default;
+
+    /** Attach a table to the unit executing @p op. */
+    void
+    addTable(Operation op, const MemoConfig &cfg)
+    {
+        tables.try_emplace(op, op, cfg);
+    }
+
+    /** Attach identically configured tables to the three paper units. */
+    static MemoBank
+    standard(const MemoConfig &cfg)
+    {
+        MemoBank bank;
+        bank.addTable(Operation::IntMul, cfg);
+        bank.addTable(Operation::FpMul, cfg);
+        bank.addTable(Operation::FpDiv, cfg);
+        return bank;
+    }
+
+    /** The table for @p op, or nullptr when that unit has none. */
+    MemoTable *
+    table(Operation op)
+    {
+        auto it = tables.find(op);
+        return it == tables.end() ? nullptr : &it->second;
+    }
+
+    const MemoTable *
+    table(Operation op) const
+    {
+        auto it = tables.find(op);
+        return it == tables.end() ? nullptr : &it->second;
+    }
+
+    void
+    reset()
+    {
+        for (auto &[op, t] : tables)
+            t.reset();
+    }
+
+  private:
+    std::map<Operation, MemoTable> tables;
+};
+
+} // namespace memo
+
+#endif // MEMO_CORE_BANK_HH

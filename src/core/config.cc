@@ -1,0 +1,47 @@
+#include "config.hh"
+
+#include <bit>
+#include <sstream>
+
+namespace memo
+{
+
+std::string
+MemoConfig::validate() const
+{
+    if (infinite)
+        return "";
+    if (entries == 0 || !std::has_single_bit(entries))
+        return "entries must be a nonzero power of two";
+    if (ways == 0 || !std::has_single_bit(ways))
+        return "ways must be a nonzero power of two";
+    if (ways > entries)
+        return "ways must not exceed entries";
+    return "";
+}
+
+std::string
+MemoConfig::describe() const
+{
+    std::ostringstream os;
+    if (infinite) {
+        os << "infinite";
+    } else {
+        os << entries << "/" << ways;
+    }
+    os << (tagMode == TagMode::MantissaOnly ? " mant" : " full");
+    switch (trivialMode) {
+      case TrivialMode::CacheAll:
+        os << " all";
+        break;
+      case TrivialMode::NonTrivialOnly:
+        os << " non";
+        break;
+      case TrivialMode::Integrated:
+        os << " intgr";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace memo

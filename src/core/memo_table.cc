@@ -1,0 +1,413 @@
+#include "memo_table.hh"
+
+#include <bit>
+#include <cassert>
+
+#include "arith/fp.hh"
+#include "arith/hash.hh"
+#include "arith/trivial.hh"
+
+namespace memo
+{
+
+MemoTable::MemoTable(Operation op, const MemoConfig &cfg)
+    : op(op), cfg(cfg)
+{
+    assert(cfg.validate().empty());
+    if (!cfg.infinite) {
+        indexBits = log2Exact(cfg.sets());
+        entries.resize(cfg.entries);
+    } else {
+        indexBits = 0;
+    }
+}
+
+void
+MemoTable::reset()
+{
+    flush();
+    stats_.reset();
+    tick = 0;
+}
+
+void
+MemoTable::flush()
+{
+    for (auto &e : entries)
+        e.valid = false;
+    infTable.clear();
+}
+
+namespace
+{
+
+/** Parity over the protected entry fields. */
+inline bool
+entryParity(uint64_t tag_a, uint64_t tag_b, uint64_t value)
+{
+    return (std::popcount(tag_a) + std::popcount(tag_b) +
+            std::popcount(value)) &
+           1;
+}
+
+} // anonymous namespace
+
+bool
+MemoTable::injectBitFlip(unsigned set, unsigned way, unsigned bit)
+{
+    assert(!cfg.infinite);
+    assert(set < cfg.sets() && way < cfg.ways && bit < 64);
+    Entry &e = entries[static_cast<size_t>(set) * cfg.ways + way];
+    if (!e.valid)
+        return false;
+    e.value ^= uint64_t{1} << bit;
+    return true;
+}
+
+unsigned
+MemoTable::validEntries() const
+{
+    if (cfg.infinite)
+        return static_cast<unsigned>(infTable.size());
+    unsigned n = 0;
+    for (const auto &e : entries)
+        n += e.valid;
+    return n;
+}
+
+bool
+MemoTable::checkTrivial(uint64_t a_bits, uint64_t b_bits,
+                        uint64_t &result) const
+{
+    bool ext = cfg.extendedTrivial;
+    switch (op) {
+      case Operation::IntMul: {
+        auto t = trivialIntMul(static_cast<int64_t>(a_bits),
+                               static_cast<int64_t>(b_bits), ext);
+        if (!t)
+            return false;
+        result = static_cast<uint64_t>(t->result);
+        return true;
+      }
+      case Operation::FpMul: {
+        auto t = trivialFpMul(fpFromBits(a_bits), fpFromBits(b_bits), ext);
+        if (!t)
+            return false;
+        result = fpBits(t->result);
+        return true;
+      }
+      case Operation::FpDiv: {
+        auto t = trivialFpDiv(fpFromBits(a_bits), fpFromBits(b_bits), ext);
+        if (!t)
+            return false;
+        result = fpBits(t->result);
+        return true;
+      }
+      case Operation::FpSqrt: {
+        auto t = trivialFpSqrt(fpFromBits(a_bits), ext);
+        if (!t)
+            return false;
+        result = fpBits(t->result);
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+MemoTable::mantissaMode() const
+{
+    // The mantissa-only design covers the operations whose result
+    // exponent is a simple function of the operand exponents:
+    // multiply/divide (sum/difference) and square root (halving, with
+    // the exponent's parity folded into the tag since sqrt(m) and
+    // sqrt(2m) have different mantissas).
+    return cfg.tagMode == TagMode::MantissaOnly &&
+           (op == Operation::FpMul || op == Operation::FpDiv ||
+            op == Operation::FpSqrt);
+}
+
+bool
+MemoTable::taggable(uint64_t a_bits, uint64_t b_bits) const
+{
+    if (!mantissaMode())
+        return true;
+    // Mantissa tags collide across numbers with equal fractions (that is
+    // the point), but zero/subnormal/inf/NaN have no meaningful mantissa
+    // identity; those accesses bypass the mantissa-mode table.
+    return fpIsNormal(fpFromBits(a_bits)) &&
+           (isUnary(op) || fpIsNormal(fpFromBits(b_bits)));
+}
+
+uint64_t
+MemoTable::makeTag(uint64_t operand_bits) const
+{
+    if (!mantissaMode())
+        return operand_bits;
+    uint64_t frac = operand_bits & ((uint64_t{1} << fpMantissaBits) - 1);
+    if (op == Operation::FpSqrt) {
+        // Fold the exponent's parity into the tag: the result
+        // mantissa depends on it.
+        int e = static_cast<int>((operand_bits >> fpMantissaBits) &
+                                 0x7ff) -
+                fpExponentBias;
+        frac |= static_cast<uint64_t>(e & 1) << fpMantissaBits;
+    }
+    return frac;
+}
+
+uint64_t
+MemoTable::indexOf(uint64_t a_bits, uint64_t b_bits) const
+{
+    if (indexBits == 0)
+        return 0;
+    if (op == Operation::IntMul)
+        return indexInt(a_bits, b_bits, indexBits);
+    if (isUnary(op))
+        return indexFpUnary(a_bits, indexBits);
+    if (cfg.hashScheme == HashScheme::Additive)
+        return indexFpSum(a_bits, b_bits, indexBits);
+    return indexFp(a_bits, b_bits, indexBits);
+}
+
+bool
+MemoTable::reconstruct(uint64_t a_bits, uint64_t b_bits, uint64_t frac,
+                       int delta, uint64_t &result) const
+{
+    double a = fpFromBits(a_bits);
+    int ea = static_cast<int>(fpBiasedExponent(a));
+    unsigned sign;
+    int e;
+    if (op == Operation::FpSqrt) {
+        if (fpSign(a))
+            return false; // sqrt of a negative: not representable
+        sign = 0;
+        int ea_u = ea - fpExponentBias;
+        int parity = ea_u & 1;
+        e = (ea_u - parity) / 2 + delta + fpExponentBias;
+    } else {
+        double b = fpFromBits(b_bits);
+        sign = fpSign(a) ^ fpSign(b);
+        int eb = static_cast<int>(fpBiasedExponent(b));
+        e = op == Operation::FpMul
+                ? ea + eb - fpExponentBias + delta
+                : ea - eb + fpExponentBias + delta;
+    }
+    if (e < 1 || e > 2046)
+        return false;
+    result = fpBits(fpCompose(sign, static_cast<unsigned>(e), frac));
+    return true;
+}
+
+bool
+MemoTable::derivePayload(uint64_t a_bits, uint64_t b_bits,
+                         uint64_t result_bits, uint64_t &frac,
+                         int8_t &delta) const
+{
+    double r = fpFromBits(result_bits);
+    if (!fpIsNormal(r))
+        return false;
+    double a = fpFromBits(a_bits);
+    int ea = static_cast<int>(fpBiasedExponent(a));
+    int er = static_cast<int>(fpBiasedExponent(r));
+    int d;
+    if (op == Operation::FpSqrt) {
+        if (fpSign(a))
+            return false;
+        int ea_u = ea - fpExponentBias;
+        int parity = ea_u & 1;
+        d = (er - fpExponentBias) - (ea_u - parity) / 2;
+    } else {
+        double b = fpFromBits(b_bits);
+        int eb = static_cast<int>(fpBiasedExponent(b));
+        d = op == Operation::FpMul
+                ? er - (ea + eb - fpExponentBias)
+                : er - (ea - eb + fpExponentBias);
+    }
+    if (d < -2 || d > 2)
+        return false;
+    frac = fpFraction(r);
+    delta = static_cast<int8_t>(d);
+    // Safety: the payload must reproduce the exact result.
+    uint64_t check;
+    return reconstruct(a_bits, b_bits, frac, d, check) &&
+           check == result_bits;
+}
+
+MemoTable::Entry *
+MemoTable::findEntry(uint64_t index, uint64_t tag_a, uint64_t tag_b)
+{
+    Entry *set = &entries[index * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; w++) {
+        Entry &e = set[w];
+        if (!e.valid)
+            continue;
+        if (e.tagA == tag_a && e.tagB == tag_b)
+            return &e;
+        // Commutative units compare the operands in both orders
+        // (section 2.2).
+        if (isCommutative(op) && e.tagA == tag_b && e.tagB == tag_a)
+            return &e;
+    }
+    return nullptr;
+}
+
+MemoTable::Entry &
+MemoTable::victimEntry(uint64_t index)
+{
+    Entry *set = &entries[index * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; w++) {
+        if (!set[w].valid)
+            return set[w];
+    }
+    switch (cfg.replacement) {
+      case Replacement::Lru:
+      case Replacement::Fifo: {
+        Entry *victim = &set[0];
+        for (unsigned w = 1; w < cfg.ways; w++) {
+            if (set[w].tick < victim->tick)
+                victim = &set[w];
+        }
+        return *victim;
+      }
+      case Replacement::Random:
+      default:
+        // xorshift64 keeps runs deterministic.
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return set[rng % cfg.ways];
+    }
+}
+
+std::optional<uint64_t>
+MemoTable::lookup(uint64_t a_bits, uint64_t b_bits)
+{
+    uint64_t trivial_result;
+    if (cfg.trivialMode != TrivialMode::CacheAll &&
+        checkTrivial(a_bits, b_bits, trivial_result)) {
+        if (cfg.trivialMode == TrivialMode::NonTrivialOnly) {
+            stats_.trivialBypassed++;
+            return std::nullopt;
+        }
+        // Integrated: the detector inside the table supplies the result.
+        stats_.lookups++;
+        stats_.trivialHits++;
+        return trivial_result;
+    }
+
+    stats_.lookups++;
+    if (!taggable(a_bits, b_bits)) {
+        stats_.misses++;
+        return std::nullopt;
+    }
+
+    uint64_t tag_a = makeTag(a_bits);
+    uint64_t tag_b = isUnary(op) ? 0 : makeTag(b_bits);
+
+    if (cfg.infinite) {
+        InfKey key{tag_a, tag_b};
+        if (isCommutative(op) && key.b < key.a)
+            std::swap(key.a, key.b);
+        auto it = infTable.find(key);
+        if (it != infTable.end()) {
+            uint64_t result = it->second.value;
+            if (mantissaMode() &&
+                !reconstruct(a_bits, b_bits, it->second.value,
+                             it->second.delta, result)) {
+                stats_.misses++;
+                return std::nullopt;
+            }
+            stats_.hits++;
+            return result;
+        }
+        stats_.misses++;
+        return std::nullopt;
+    }
+
+    uint64_t index = indexOf(a_bits, b_bits);
+    if (Entry *e = findEntry(index, tag_a, tag_b)) {
+        if (cfg.parityProtected &&
+            entryParity(e->tagA, e->tagB, e->value) != e->parity) {
+            // Soft error detected: drop the entry, take the miss.
+            e->valid = false;
+            stats_.parityMisses++;
+            stats_.misses++;
+            return std::nullopt;
+        }
+        uint64_t result = e->value;
+        if (mantissaMode() &&
+            !reconstruct(a_bits, b_bits, e->value, e->delta, result)) {
+            stats_.misses++;
+            return std::nullopt;
+        }
+        if (cfg.replacement == Replacement::Lru)
+            e->tick = ++tick;
+        stats_.hits++;
+        return result;
+    }
+    stats_.misses++;
+    return std::nullopt;
+}
+
+void
+MemoTable::update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits)
+{
+    uint64_t trivial_result;
+    if (cfg.trivialMode != TrivialMode::CacheAll &&
+        checkTrivial(a_bits, b_bits, trivial_result)) {
+        return;
+    }
+    if (!taggable(a_bits, b_bits))
+        return;
+
+    uint64_t value = result_bits;
+    int8_t delta = 0;
+    if (mantissaMode()) {
+        uint64_t frac;
+        if (!derivePayload(a_bits, b_bits, result_bits, frac, delta))
+            return;
+        value = frac;
+    }
+
+    uint64_t tag_a = makeTag(a_bits);
+    uint64_t tag_b = isUnary(op) ? 0 : makeTag(b_bits);
+
+    if (cfg.infinite) {
+        InfKey key{tag_a, tag_b};
+        if (isCommutative(op) && key.b < key.a)
+            std::swap(key.a, key.b);
+        auto [it, inserted] = infTable.try_emplace(key,
+                                                   InfValue{value, delta});
+        if (inserted)
+            stats_.insertions++;
+        else
+            it->second = InfValue{value, delta};
+        return;
+    }
+
+    uint64_t index = indexOf(a_bits, b_bits);
+    if (Entry *e = findEntry(index, tag_a, tag_b)) {
+        // Already present (e.g. refreshed by a racing unit); rewrite.
+        e->value = value;
+        e->delta = delta;
+        e->parity = entryParity(e->tagA, e->tagB, value);
+        if (cfg.replacement == Replacement::Lru)
+            e->tick = ++tick;
+        return;
+    }
+    Entry &victim = victimEntry(index);
+    if (victim.valid)
+        stats_.evictions++;
+    victim.valid = true;
+    victim.tagA = tag_a;
+    victim.tagB = tag_b;
+    victim.value = value;
+    victim.delta = delta;
+    victim.parity = entryParity(tag_a, tag_b, value);
+    victim.tick = ++tick;
+    stats_.insertions++;
+}
+
+} // namespace memo

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The MEMO-TABLE: a cache-like lookup table that memoizes the operands
+ * and result of multi-cycle arithmetic operations (Citron, Feitelson &
+ * Rudolph, ASPLOS'98, section 2).
+ *
+ * Operands are presented to the table in parallel with the conventional
+ * computation unit. A tag hit returns the previously computed result (a
+ * single-cycle operation); a miss costs nothing, and the computed result
+ * is inserted in parallel with write-back.
+ *
+ * The table operates on raw 64-bit operand patterns so that one
+ * implementation serves integer and floating point units; Operation
+ * selects the indexing/tagging scheme:
+ *  - integer ops index with the XOR of the low operand bits;
+ *  - fp ops index with the XOR of the top mantissa bits;
+ *  - commutative ops (both multiplies) compare tags in both operand
+ *    orders (section 2.2);
+ *  - MantissaOnly tag mode stores only mantissas and reconstructs the
+ *    result's sign/exponent, raising hit ratios slightly (Table 10);
+ *  - trivial operations are bypassed, cached, or folded into hits
+ *    according to TrivialMode (Table 9).
+ */
+
+#ifndef MEMO_CORE_MEMO_TABLE_HH
+#define MEMO_CORE_MEMO_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/op.hh"
+#include "core/stats.hh"
+
+namespace memo
+{
+
+/** One MEMO-TABLE attached to one class of computation unit. */
+class MemoTable
+{
+  public:
+    /**
+     * @param op the operation this table memoizes
+     * @param cfg geometry and policy; validated with assertions
+     */
+    MemoTable(Operation op, const MemoConfig &cfg);
+
+    /**
+     * Present operands to the table (the parallel lookup of Figure 1).
+     *
+     * @param a_bits raw bits of the first operand
+     * @param b_bits raw bits of the second operand (ignored for unary ops)
+     * @return the raw bits of the memoized result on a hit, nullopt on a
+     *         miss or when the operation bypasses the table
+     */
+    std::optional<uint64_t> lookup(uint64_t a_bits, uint64_t b_bits = 0);
+
+    /**
+     * Install a computed result after a miss (performed in parallel with
+     * write-back; section 2.2). Trivial or untaggable operations are
+     * silently skipped according to the configuration.
+     */
+    void update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits);
+
+    /**
+     * Convenience: lookup, and on a miss invoke @p compute and install
+     * its result.
+     *
+     * @param compute callable giving the raw result bits
+     * @param hit optional out-param set to whether the lookup hit
+     * @return the operation result (from the table or from compute)
+     */
+    template <typename Compute>
+    uint64_t
+    access(uint64_t a_bits, uint64_t b_bits, Compute &&compute,
+           bool *hit = nullptr)
+    {
+        if (auto v = lookup(a_bits, b_bits)) {
+            if (hit)
+                *hit = true;
+            return *v;
+        }
+        uint64_t r = compute();
+        update(a_bits, b_bits, r);
+        if (hit)
+            *hit = false;
+        return r;
+    }
+
+    /**
+     * Fault-injection hook: flip bit @p bit of the stored value of
+     * entry (@p set, @p way). With parityProtected the corruption is
+     * detected on the next hit (a parity miss); without it the wrong
+     * value is returned silently — the hazard bench_ext_faults
+     * quantifies. @return false when the entry is invalid.
+     */
+    bool injectBitFlip(unsigned set, unsigned way, unsigned bit);
+
+    /** Invalidate all entries and zero the statistics. */
+    void reset();
+
+    /** Invalidate all entries but keep the statistics. */
+    void flush();
+
+    const MemoStats &stats() const { return stats_; }
+    const MemoConfig &config() const { return cfg; }
+    Operation operation() const { return op; }
+
+    /** Number of currently valid entries (finite tables). */
+    unsigned validEntries() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool parity = false; //!< stored parity over tags and value
+        uint64_t tagA = 0;
+        uint64_t tagB = 0;
+        uint64_t value = 0;
+        int8_t delta = 0;   //!< exponent adjustment (MantissaOnly mode)
+        uint64_t tick = 0;  //!< LRU/FIFO ordering
+    };
+
+    /** Key of the infinite (fully associative, unbounded) table. */
+    struct InfKey
+    {
+        uint64_t a;
+        uint64_t b;
+        bool operator==(const InfKey &) const = default;
+    };
+
+    struct InfKeyHash
+    {
+        size_t
+        operator()(const InfKey &k) const
+        {
+            uint64_t h = k.a * 0x9e3779b97f4a7c15ULL;
+            h ^= h >> 32;
+            h += k.b * 0xc2b2ae3d27d4eb4fULL;
+            h ^= h >> 29;
+            return static_cast<size_t>(h);
+        }
+    };
+
+    struct InfValue
+    {
+        uint64_t value;
+        int8_t delta;
+    };
+
+    /** Trivial-op handling at lookup time; sets result on detection. */
+    bool checkTrivial(uint64_t a_bits, uint64_t b_bits, uint64_t &result)
+        const;
+
+    /** True when this access can be tagged under the current tag mode. */
+    bool taggable(uint64_t a_bits, uint64_t b_bits) const;
+
+    /** True iff this table uses mantissa-only tags (fp mul/div only). */
+    bool mantissaMode() const;
+
+    /** Tag of one operand under the current tag mode. */
+    uint64_t makeTag(uint64_t operand_bits) const;
+
+    /** Set index for an access. */
+    uint64_t indexOf(uint64_t a_bits, uint64_t b_bits) const;
+
+    /**
+     * Reconstruct the full result from a mantissa-mode entry.
+     * @return false when the reconstructed exponent is unrepresentable.
+     */
+    bool reconstruct(uint64_t a_bits, uint64_t b_bits, uint64_t frac,
+                     int delta, uint64_t &result) const;
+
+    /**
+     * Derive the mantissa-mode payload (result fraction and exponent
+     * delta). @return false when the result cannot be represented.
+     */
+    bool derivePayload(uint64_t a_bits, uint64_t b_bits,
+                       uint64_t result_bits, uint64_t &frac,
+                       int8_t &delta) const;
+
+    Entry *findEntry(uint64_t index, uint64_t tag_a, uint64_t tag_b);
+    Entry &victimEntry(uint64_t index);
+
+    Operation op;
+    MemoConfig cfg;
+    unsigned indexBits;
+    std::vector<Entry> entries; //!< sets * ways, set-major
+    std::unordered_map<InfKey, InfValue, InfKeyHash> infTable;
+    MemoStats stats_;
+    uint64_t tick = 0;
+    uint64_t rng = 0x2545f4914f6cdd1dULL;
+};
+
+} // namespace memo
+
+#endif // MEMO_CORE_MEMO_TABLE_HH

@@ -1,0 +1,30 @@
+#include "op.hh"
+
+namespace memo
+{
+
+std::string_view
+operationName(Operation op)
+{
+    switch (op) {
+      case Operation::IntMul:
+        return "int mult";
+      case Operation::FpMul:
+        return "fp mult";
+      case Operation::FpDiv:
+        return "fp div";
+      case Operation::FpSqrt:
+        return "fp sqrt";
+      case Operation::FpLog:
+        return "fp log";
+      case Operation::FpSin:
+        return "fp sin";
+      case Operation::FpCos:
+        return "fp cos";
+      case Operation::FpExp:
+        return "fp exp";
+    }
+    return "?";
+}
+
+} // namespace memo

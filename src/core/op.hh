@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Memoizable operation kinds.
+ *
+ * The paper attaches MEMO-TABLEs to the integer multiplier, the fp
+ * multiplier and the fp divider. Its future-work section proposes
+ * extending the technique to sqrt, log and the trigonometric functions;
+ * those units are implemented here as well (see bench_ext_transcendental).
+ */
+
+#ifndef MEMO_CORE_OP_HH
+#define MEMO_CORE_OP_HH
+
+#include <string_view>
+
+namespace memo
+{
+
+/** The operation a MEMO-TABLE memoizes. */
+enum class Operation
+{
+    IntMul, //!< integer multiplication
+    FpMul,  //!< floating point multiplication
+    FpDiv,  //!< floating point division
+    FpSqrt, //!< floating point square root (future-work extension)
+    FpLog,  //!< natural logarithm (future-work extension)
+    FpSin,  //!< sine (future-work extension)
+    FpCos,  //!< cosine (future-work extension)
+    FpExp,  //!< exponential (future-work extension)
+};
+
+/** True for commutative operations, whose lookups compare both orders. */
+constexpr bool
+isCommutative(Operation op)
+{
+    return op == Operation::IntMul || op == Operation::FpMul;
+}
+
+/** True for single-operand operations. */
+constexpr bool
+isUnary(Operation op)
+{
+    switch (op) {
+      case Operation::FpSqrt:
+      case Operation::FpLog:
+      case Operation::FpSin:
+      case Operation::FpCos:
+      case Operation::FpExp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for operations on floating point operands. */
+constexpr bool
+isFloat(Operation op)
+{
+    return op != Operation::IntMul;
+}
+
+/** Short printable name. */
+std::string_view operationName(Operation op);
+
+} // namespace memo
+
+#endif // MEMO_CORE_OP_HH

@@ -1,0 +1,85 @@
+#include "entropy.hh"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace memo
+{
+
+namespace
+{
+
+/** Entropy of an integer-valued sample range. */
+double
+sampleEntropy(const float *begin, size_t n, size_t stride)
+{
+    std::unordered_map<int, uint64_t> hist;
+    for (size_t i = 0; i < n; i++)
+        hist[static_cast<int>(begin[i * stride])]++;
+    double e = 0.0;
+    for (const auto &[value, count] : hist) {
+        double p = static_cast<double>(count) / n;
+        e -= p * std::log2(p);
+    }
+    return e;
+}
+
+} // anonymous namespace
+
+double
+distributionEntropy(const std::vector<double> &p)
+{
+    double e = 0.0;
+    for (double pk : p) {
+        if (pk > 0.0)
+            e -= pk * std::log2(pk);
+    }
+    return e;
+}
+
+double
+imageEntropy(const Image &img)
+{
+    if (img.type() == PixelType::Float)
+        return std::numeric_limits<double>::quiet_NaN();
+    const auto &raw = img.raw();
+    return sampleEntropy(raw.data(), raw.size(), 1);
+}
+
+double
+windowEntropy(const Image &img, int window)
+{
+    if (img.type() == PixelType::Float)
+        return std::numeric_limits<double>::quiet_NaN();
+
+    double sum = 0.0;
+    unsigned tiles = 0;
+    std::unordered_map<int, uint64_t> hist;
+    for (int y0 = 0; y0 < img.height(); y0 += window) {
+        for (int x0 = 0; x0 < img.width(); x0 += window) {
+            hist.clear();
+            uint64_t n = 0;
+            int y1 = std::min(y0 + window, img.height());
+            int x1 = std::min(x0 + window, img.width());
+            for (int y = y0; y < y1; y++) {
+                for (int x = x0; x < x1; x++) {
+                    for (int b = 0; b < img.bands(); b++) {
+                        hist[static_cast<int>(img.at(x, y, b))]++;
+                        n++;
+                    }
+                }
+            }
+            double e = 0.0;
+            for (const auto &[value, count] : hist) {
+                double p = static_cast<double>(count) / n;
+                e -= p * std::log2(p);
+            }
+            sum += e;
+            tiles++;
+        }
+    }
+    return tiles ? sum / tiles : 0.0;
+}
+
+} // namespace memo

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Image entropy analysis (paper section 3.2, Table 8, Figure 2).
+ *
+ * The entropy E = -sum_k p_k log2 p_k of the pixel-value histogram
+ * measures the information content of an image; the paper shows hit
+ * ratios rise as the entropy of the whole image and of small (16x16,
+ * 8x8) windows falls, at roughly 5% of hit ratio per entropy bit.
+ */
+
+#ifndef MEMO_IMG_ENTROPY_HH
+#define MEMO_IMG_ENTROPY_HH
+
+#include "img/image.hh"
+
+namespace memo
+{
+
+/**
+ * Histogram entropy (bits) of all samples of an image.
+ *
+ * BYTE and INTEGER images histogram exact sample values. FLOAT images
+ * have no finite alphabet; like the paper (which lists "-" for its
+ * FLOAT inputs) this returns NaN for them.
+ */
+double imageEntropy(const Image &img);
+
+/**
+ * Mean histogram entropy of non-overlapping @p window x @p window
+ * tiles (the paper uses 16x16 and 8x8). Partial border tiles are
+ * included.
+ */
+double windowEntropy(const Image &img, int window);
+
+/** Entropy of an explicit probability distribution (must sum to ~1). */
+double distributionEntropy(const std::vector<double> &p);
+
+} // namespace memo
+
+#endif // MEMO_IMG_ENTROPY_HH

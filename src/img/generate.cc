@@ -1,0 +1,358 @@
+#include "generate.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace memo
+{
+
+namespace
+{
+
+/** splitmix64 — cheap stateless hash for lattice noise. */
+uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Lattice value in [0,1). */
+double
+lattice(int x, int y, uint64_t seed)
+{
+    uint64_t h = mix64(seed ^ (static_cast<uint64_t>(
+                                   static_cast<uint32_t>(x)) << 32 |
+                               static_cast<uint32_t>(y)));
+    return static_cast<double>(h >> 11) * 0x1p-53;
+}
+
+double
+smoothstep(double t)
+{
+    return t * t * (3.0 - 2.0 * t);
+}
+
+/** Bilinearly interpolated value noise. */
+double
+valueNoise(double x, double y, uint64_t seed)
+{
+    int xi = static_cast<int>(std::floor(x));
+    int yi = static_cast<int>(std::floor(y));
+    double tx = smoothstep(x - xi);
+    double ty = smoothstep(y - yi);
+    double v00 = lattice(xi, yi, seed);
+    double v10 = lattice(xi + 1, yi, seed);
+    double v01 = lattice(xi, yi + 1, seed);
+    double v11 = lattice(xi + 1, yi + 1, seed);
+    double a = v00 + (v10 - v00) * tx;
+    double b = v01 + (v11 - v01) * tx;
+    return a + (b - a) * ty;
+}
+
+/** Fractional Brownian motion over value noise. */
+double
+fbm(double x, double y, uint64_t seed, int octaves, double persistence)
+{
+    double sum = 0.0;
+    double amp = 1.0;
+    double norm = 0.0;
+    double freq = 1.0;
+    for (int o = 0; o < octaves; o++) {
+        sum += amp * valueNoise(x * freq, y * freq, seed + o * 1013);
+        norm += amp;
+        amp *= persistence;
+        freq *= 2.0;
+    }
+    return sum / norm;
+}
+
+/** Per-band min-max normalization to [0,1]. */
+void
+normalizeBand(Image &img, int band)
+{
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    for (int y = 0; y < img.height(); y++) {
+        for (int x = 0; x < img.width(); x++) {
+            lo = std::min(lo, img.at(x, y, band));
+            hi = std::max(hi, img.at(x, y, band));
+        }
+    }
+    float range = hi - lo;
+    if (range <= 0)
+        return;
+    for (int y = 0; y < img.height(); y++)
+        for (int x = 0; x < img.width(); x++)
+            img.at(x, y, band) = (img.at(x, y, band) - lo) / range;
+}
+
+/**
+ * Histogram-equalize one band of [0,1] samples: remap through the CDF
+ * of the 256-bin histogram so the grey alphabet is near uniform.
+ */
+void
+equalizeBand(Image &img, int band)
+{
+    std::array<uint64_t, 256> hist{};
+    uint64_t n = 0;
+    for (int y = 0; y < img.height(); y++) {
+        for (int x = 0; x < img.width(); x++) {
+            int q = std::clamp(
+                static_cast<int>(img.at(x, y, band) * 255.0f), 0, 255);
+            hist[q]++;
+            n++;
+        }
+    }
+    std::array<double, 256> cdf{};
+    uint64_t run = 0;
+    for (int i = 0; i < 256; i++) {
+        run += hist[i];
+        cdf[i] = static_cast<double>(run) / n;
+    }
+    for (int y = 0; y < img.height(); y++) {
+        for (int x = 0; x < img.width(); x++) {
+            int q = std::clamp(
+                static_cast<int>(img.at(x, y, band) * 255.0f), 0, 255);
+            img.at(x, y, band) = static_cast<float>(cdf[q]);
+        }
+    }
+}
+
+} // anonymous namespace
+
+Image
+genNatural(int w, int h, int bands, uint64_t seed, double base_scale,
+           int octaves, double persistence, int levels, double gamma,
+           bool equalize)
+{
+    Image img(w, h, bands, PixelType::Byte);
+    for (int b = 0; b < bands; b++) {
+        uint64_t band_seed = seed + static_cast<uint64_t>(b) * 7919;
+        for (int y = 0; y < h; y++) {
+            for (int x = 0; x < w; x++) {
+                img.at(x, y, b) = static_cast<float>(
+                    fbm(x / base_scale, y / base_scale, band_seed,
+                        octaves, persistence));
+            }
+        }
+        normalizeBand(img, b);
+        if (equalize)
+            equalizeBand(img, b);
+    }
+    // Gamma skew, posterize to the requested alphabet, spread to 0..255.
+    double step = levels > 1 ? 255.0 / (levels - 1) : 0.0;
+    for (float &v : img.raw()) {
+        double u = std::pow(static_cast<double>(v), gamma);
+        int q = static_cast<int>(std::lround(u * (levels - 1)));
+        v = static_cast<float>(std::lround(q * step));
+    }
+    img.quantize();
+    return img;
+}
+
+Image
+genLabels(int w, int h, int num_labels, uint64_t seed)
+{
+    // Many small Voronoi fragments, each carrying one of num_labels
+    // label values: the label alphabet stays small (full entropy ~
+    // log2(num_labels)) while boundaries are frequent enough that small
+    // windows regularly straddle two regions, as in a real
+    // segmentation/labeling output.
+    struct Site
+    {
+        double x, y;
+        int label;
+    };
+    int num_sites = std::max(num_labels, w * h / 450);
+    std::vector<Site> sites;
+    sites.reserve(num_sites);
+    for (int i = 0; i < num_sites; i++) {
+        uint64_t hx = mix64(seed + 3 * i);
+        uint64_t hy = mix64(seed + 3 * i + 1);
+        int label = static_cast<int>(mix64(seed + 3 * i + 2) %
+                                     num_labels);
+        sites.push_back({static_cast<double>(hx % 10000) / 10000.0 * w,
+                         static_cast<double>(hy % 10000) / 10000.0 * h,
+                         label});
+    }
+    Image img(w, h, 1, PixelType::Integer);
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            int best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (int i = 0; i < num_sites; i++) {
+                double dx = x - sites[i].x;
+                double dy = y - sites[i].y;
+                double d = dx * dx + dy * dy;
+                if (d < best_d) {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            img.at(x, y) = static_cast<float>(sites[best].label);
+        }
+    }
+    return img;
+}
+
+Image
+genFractal(int w, int h, int max_iter, uint64_t seed)
+{
+    // A viewport dominated by the main cardioid of the Mandelbrot set:
+    // most pixels saturate at max_iter (one value), the rest fall in a
+    // few thin posterized escape bands.
+    double jitter = static_cast<double>(mix64(seed) % 1000) * 1e-6;
+    double cx0 = -1.30 + jitter;
+    double cx1 = 0.18;
+    double cy0 = -0.54;
+    double cy1 = 0.54;
+    Image img(w, h, 1, PixelType::Byte);
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            double cr = cx0 + (cx1 - cx0) * x / (w - 1);
+            double ci = cy0 + (cy1 - cy0) * y / (h - 1);
+            double zr = 0.0, zi = 0.0;
+            int it = 0;
+            while (it < max_iter && zr * zr + zi * zi < 4.0) {
+                double t = zr * zr - zi * zi + cr;
+                zi = 2.0 * zr * zi + ci;
+                zr = t;
+                it++;
+            }
+            int v = it == max_iter ? 0 : 32 + 8 * (it % 24);
+            img.at(x, y) = static_cast<float>(v);
+        }
+    }
+    img.quantize();
+    return img;
+}
+
+Image
+genSmoothFloat(int w, int h, uint64_t seed)
+{
+    struct Blob
+    {
+        double x, y, sigma, amp;
+    };
+    std::vector<Blob> blobs;
+    for (int i = 0; i < 9; i++) {
+        double bx = static_cast<double>(mix64(seed + 4 * i) % 1000) /
+                    1000.0 * w;
+        double by = static_cast<double>(mix64(seed + 4 * i + 1) % 1000) /
+                    1000.0 * h;
+        double s = 8.0 + static_cast<double>(
+                             mix64(seed + 4 * i + 2) % 1000) /
+                             1000.0 * 0.2 * std::min(w, h);
+        double a = 20.0 + static_cast<double>(
+                              mix64(seed + 4 * i + 3) % 1000) / 5.0;
+        blobs.push_back({bx, by, s, a});
+    }
+    Image img(w, h, 1, PixelType::Float);
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            double v = 0.0;
+            for (const auto &blob : blobs) {
+                double dx = x - blob.x;
+                double dy = y - blob.y;
+                v += blob.amp *
+                     std::exp(-(dx * dx + dy * dy) /
+                              (2.0 * blob.sigma * blob.sigma));
+            }
+            img.at(x, y) = static_cast<float>(v);
+        }
+    }
+    return img;
+}
+
+Image
+genStarfield(int w, int h, uint64_t seed)
+{
+    Image img = genNatural(w, h, 1, seed, 3.0, 3, 0.8, 256, 4.5);
+    // Scatter bright points over the dark sky.
+    int stars = w * h / 160;
+    for (int i = 0; i < stars; i++) {
+        int x = static_cast<int>(mix64(seed + 3 * i) % w);
+        int y = static_cast<int>(mix64(seed + 3 * i + 1) % h);
+        img.at(x, y) = static_cast<float>(
+            192 + mix64(seed + 3 * i + 2) % 64);
+    }
+    img.quantize();
+    return img;
+}
+
+Image
+genGradient(int w, int h)
+{
+    Image img(w, h, 1, PixelType::Byte);
+    for (int y = 0; y < h; y++)
+        for (int x = 0; x < w; x++)
+            img.at(x, y) = static_cast<float>(
+                std::lround(255.0 * x / (w - 1)));
+    return img;
+}
+
+const std::vector<NamedImage> &
+standardImages()
+{
+    static const std::vector<NamedImage> images = [] {
+        constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+        std::vector<NamedImage> v;
+        v.push_back({"mandrill",
+                     genNatural(256, 256, 1, 1001, 12.0, 5, 0.62),
+                     7.34, 6.03, 5.10, .31, .30, .29});
+        v.push_back({"nature",
+                     genNatural(256, 256, 1, 1002, 22.0, 4, 0.60),
+                     7.38, 5.64, 4.72, .31, .34, .35});
+        v.push_back({"Muppet1",
+                     genNatural(256, 240, 1, 1003, 40.0, 3, 0.55, 200),
+                     7.04, 4.78, 4.16, .31, .45, .50});
+        v.push_back({"guya",
+                     genNatural(128, 128, 1, 1004, 30.0, 3, 0.55, 180),
+                     6.99, 4.77, 3.91, .36, .76, .37});
+        v.push_back({"star", genStarfield(158, 158, 1005),
+                     5.93, 5.22, 4.62, .96, .32, .33});
+        v.push_back({"chroms",
+                     genNatural(64, 64, 1, 1006, 8.0, 4, 0.6, 42),
+                     4.82, 4.04, 3.29, .58, .43, .40});
+        v.push_back({"airport1",
+                     genNatural(256, 256, 1, 1007, 20.0, 4, 0.6, 34),
+                     4.47, 3.15, 2.56, .31, .46, .45});
+        v.push_back({"lablabel", genLabels(486, 243, 12, 1008),
+                     3.37, 0.93, 0.84, .93, .66, .75});
+        v.push_back({"fractal", genFractal(450, 409, 24, 1009),
+                     1.42, 0.78, 0.58, .88, .61, .82});
+        v.push_back({"head", genSmoothFloat(228, 256, 1010),
+                     nan, nan, nan, .39, .29, .33});
+        v.push_back({"spine", genSmoothFloat(228, 256, 1011),
+                     nan, nan, nan, .39, .27, .32});
+        v.push_back({"lenna.rgb",
+                     genNatural(480, 512, 3, 1012, 8.0, 6, 0.65, 256, 1.0, true),
+                     7.75, 6.84, 6.25, .19, .35, .58});
+        v.push_back({"mandril.rgb",
+                     genNatural(480, 512, 3, 1013, 14.0, 5, 0.62, 256, 1.0, true),
+                     7.75, 6.22, 5.64, .36, .36, .52});
+        v.push_back({"lizard.rgb",
+                     genNatural(512, 768, 3, 1014, 20.0, 5, 0.60, 256, 1.0, true),
+                     7.60, 5.66, 5.17, .32, .40, .60});
+        return v;
+    }();
+    return images;
+}
+
+const NamedImage &
+imageByName(std::string_view name)
+{
+    for (const auto &ni : standardImages()) {
+        if (ni.name == name)
+            return ni;
+    }
+    throw std::out_of_range("unknown image: " + std::string(name));
+}
+
+} // namespace memo

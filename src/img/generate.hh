@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Synthetic image generators with controllable entropy.
+ *
+ * The paper's Table 8 drives its workloads with 14 images whose
+ * full-image and windowed entropies span 1.4 .. 7.8 bits. Those images
+ * (mandrill, lenna, fractal, label maps, MRI slices ...) are not
+ * redistributable, so each is substituted with a deterministic
+ * generator tuned to reproduce its size, type, band count and entropy
+ * profile; the hit-ratio-vs-entropy relationship of Figure 2 is a
+ * property of those profiles, not of the specific photographs.
+ */
+
+#ifndef MEMO_IMG_GENERATE_HH
+#define MEMO_IMG_GENERATE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "img/image.hh"
+
+namespace memo
+{
+
+/**
+ * Fractal (fBm) value-noise texture quantized to a grey-level alphabet.
+ *
+ * @param w,h,bands geometry
+ * @param seed deterministic seed
+ * @param base_scale wavelength in pixels of the lowest octave
+ * @param octaves number of noise octaves
+ * @param persistence amplitude falloff per octave (0..1)
+ * @param levels number of distinct grey levels (<= 256)
+ * @param gamma histogram skew; >1 compresses toward dark values
+ * @param equalize histogram-equalize toward a uniform grey alphabet
+ *        (raises full-image entropy toward 8 bits)
+ */
+Image genNatural(int w, int h, int bands, uint64_t seed,
+                 double base_scale, int octaves, double persistence,
+                 int levels = 256, double gamma = 1.0,
+                 bool equalize = false);
+
+/**
+ * Voronoi region-label image (INTEGER), like a segmentation output.
+ *
+ * @param num_labels number of regions
+ */
+Image genLabels(int w, int h, int num_labels, uint64_t seed);
+
+/**
+ * Escape-time fractal over a mostly-interior viewport: one dominant
+ * value with thin bands, yielding very low entropy.
+ *
+ * @param max_iter iteration cap; escape counts are posterized
+ */
+Image genFractal(int w, int h, int max_iter, uint64_t seed);
+
+/** Smooth FLOAT image built from Gaussian blobs (MRI-like). */
+Image genSmoothFloat(int w, int h, uint64_t seed);
+
+/**
+ * Mostly-dark fine-grained texture with bright points (star field):
+ * skewed histogram, high local variation.
+ */
+Image genStarfield(int w, int h, uint64_t seed);
+
+/** Horizontal grey ramp, useful for tests and piecewise-linear demos. */
+Image genGradient(int w, int h);
+
+/** One of the 14 standard input images, with its Table 8 reference. */
+struct NamedImage
+{
+    std::string name;
+    Image image;
+    /** Paper entropies (full image, 16x16, 8x8); NaN for FLOAT. */
+    double paperEntropyFull;
+    double paperEntropy16;
+    double paperEntropy8;
+    /** Paper average hit ratios across apps using this input. */
+    double paperHitIntMul;
+    double paperHitFpMul;
+    double paperHitFpDiv;
+};
+
+/**
+ * The standard image set substituting for the paper's Table 8 inputs.
+ * Built once and cached; treat as immutable.
+ */
+const std::vector<NamedImage> &standardImages();
+
+/** Lookup by name; throws std::out_of_range for unknown names. */
+const NamedImage &imageByName(std::string_view name);
+
+} // namespace memo
+
+#endif // MEMO_IMG_GENERATE_HH

@@ -1,0 +1,54 @@
+#include "image.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace memo
+{
+
+std::string_view
+pixelTypeName(PixelType t)
+{
+    switch (t) {
+      case PixelType::Byte:
+        return "BYTE";
+      case PixelType::Integer:
+        return "INTEGER";
+      case PixelType::Float:
+        return "FLOAT";
+    }
+    return "?";
+}
+
+void
+Image::quantize()
+{
+    switch (ty) {
+      case PixelType::Byte:
+        for (float &v : data)
+            v = std::clamp(std::round(v), 0.0f, 255.0f);
+        break;
+      case PixelType::Integer:
+        for (float &v : data)
+            v = std::round(v);
+        break;
+      case PixelType::Float:
+        break;
+    }
+}
+
+float
+Image::minValue() const
+{
+    return data.empty() ? 0.0f : *std::min_element(data.begin(),
+                                                   data.end());
+}
+
+float
+Image::maxValue() const
+{
+    return data.empty() ? 0.0f : *std::max_element(data.begin(),
+                                                   data.end());
+}
+
+} // namespace memo

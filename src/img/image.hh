@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Image container used by the Multi-Media workloads.
+ *
+ * Mirrors the Khoros/VIFF data model of the paper's Table 8: images are
+ * BYTE (grey levels 0..255), INTEGER (e.g. label maps) or FLOAT, with
+ * one or more bands. Samples are stored as floats; BYTE and INTEGER
+ * images hold integral values, which is what makes their histograms and
+ * entropies well defined.
+ */
+
+#ifndef MEMO_IMG_IMAGE_HH
+#define MEMO_IMG_IMAGE_HH
+
+#include <cassert>
+#include <string_view>
+#include <vector>
+
+namespace memo
+{
+
+/** Sample data type of an image (Khoros VIFF-style). */
+enum class PixelType
+{
+    Byte,    //!< integral 0..255
+    Integer, //!< integral, unrestricted range
+    Float,   //!< continuous
+};
+
+/** Printable pixel type name, matching the paper's Table 8. */
+std::string_view pixelTypeName(PixelType t);
+
+/** A width x height x bands raster image. */
+class Image
+{
+  public:
+    Image() = default;
+
+    Image(int width, int height, int bands = 1,
+          PixelType type = PixelType::Byte)
+        : w(width), h(height), nb(bands), ty(type),
+          data(static_cast<size_t>(width) * height * bands, 0.0f)
+    {
+        assert(width > 0 && height > 0 && bands > 0);
+    }
+
+    int width() const { return w; }
+    int height() const { return h; }
+    int bands() const { return nb; }
+    PixelType type() const { return ty; }
+    size_t samples() const { return data.size(); }
+
+    float
+    at(int x, int y, int band = 0) const
+    {
+        return data[index(x, y, band)];
+    }
+
+    float &
+    at(int x, int y, int band = 0)
+    {
+        return data[index(x, y, band)];
+    }
+
+    /** Clamped access: coordinates are clipped to the image borders. */
+    float
+    atClamped(int x, int y, int band = 0) const
+    {
+        x = x < 0 ? 0 : (x >= w ? w - 1 : x);
+        y = y < 0 ? 0 : (y >= h ? h - 1 : y);
+        return at(x, y, band);
+    }
+
+    const std::vector<float> &raw() const { return data; }
+    std::vector<float> &raw() { return data; }
+
+    /**
+     * Coerce samples to the image's declared type: BYTE samples are
+     * rounded and clamped to [0, 255], INTEGER samples are rounded.
+     */
+    void quantize();
+
+    /** Minimum sample value across all bands. */
+    float minValue() const;
+    /** Maximum sample value across all bands. */
+    float maxValue() const;
+
+  private:
+    size_t
+    index(int x, int y, int band) const
+    {
+        assert(x >= 0 && x < w && y >= 0 && y < h && band >= 0 &&
+               band < nb);
+        return (static_cast<size_t>(y) * w + x) * nb + band;
+    }
+
+    int w = 0;
+    int h = 0;
+    int nb = 0;
+    PixelType ty = PixelType::Byte;
+    std::vector<float> data;
+};
+
+} // namespace memo
+
+#endif // MEMO_IMG_IMAGE_HH

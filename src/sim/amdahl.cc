@@ -1,0 +1,43 @@
+#include "amdahl.hh"
+
+namespace memo
+{
+
+double
+speedupEnhanced(unsigned dc, double hr)
+{
+    double d = static_cast<double>(dc);
+    return d / ((1.0 - hr) * d + hr);
+}
+
+double
+amdahlSpeedup(double fe, double se)
+{
+    return 1.0 / ((1.0 - fe) + fe / se);
+}
+
+double
+amdahlSpeedupMulti(const std::vector<EnhancedUnit> &units)
+{
+    double fe_total = 0.0;
+    double enhanced_time = 0.0;
+    for (const auto &u : units) {
+        fe_total += u.fe;
+        enhanced_time += u.fe / u.se;
+    }
+    return 1.0 / ((1.0 - fe_total) + enhanced_time);
+}
+
+double
+combinedSe(const std::vector<EnhancedUnit> &units)
+{
+    double fe_total = 0.0;
+    double enhanced_time = 0.0;
+    for (const auto &u : units) {
+        fe_total += u.fe;
+        enhanced_time += u.fe / u.se;
+    }
+    return enhanced_time > 0.0 ? fe_total / enhanced_time : 1.0;
+}
+
+} // namespace memo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Amdahl's-law speedup decomposition (paper section 3.3).
+ *
+ * For a unit with latency dc cycles and MEMO-TABLE hit ratio hr, the
+ * Speedup Enhanced is
+ *
+ *     SE = dc / ((1 - hr) * dc + hr)
+ *
+ * (hits complete in one cycle, misses in dc). With FE the fraction of
+ * total cycles spent in that unit, the overall speedup is
+ *
+ *     speedup = 1 / ((1 - FE) + FE / SE).
+ */
+
+#ifndef MEMO_SIM_AMDAHL_HH
+#define MEMO_SIM_AMDAHL_HH
+
+#include <vector>
+
+namespace memo
+{
+
+/** SE of a memoized unit: latency @p dc cycles, hit ratio @p hr. */
+double speedupEnhanced(unsigned dc, double hr);
+
+/** Overall speedup from one enhanced fraction. */
+double amdahlSpeedup(double fe, double se);
+
+/** One enhanced unit's contribution for the combined formula. */
+struct EnhancedUnit
+{
+    double fe; //!< fraction of original cycles in this unit
+    double se; //!< speedup of this unit alone
+};
+
+/**
+ * Overall speedup with several units enhanced at once (Table 13):
+ * 1 / ((1 - sum FE_i) + sum FE_i / SE_i).
+ */
+double amdahlSpeedupMulti(const std::vector<EnhancedUnit> &units);
+
+/**
+ * The combined SE the paper reports in Table 13: the single-unit SE
+ * that would give the same overall speedup for FE = sum FE_i.
+ */
+double combinedSe(const std::vector<EnhancedUnit> &units);
+
+} // namespace memo
+
+#endif // MEMO_SIM_AMDAHL_HH

@@ -1,0 +1,109 @@
+#include "cache.hh"
+
+#include <cassert>
+#include <cstddef>
+
+#include "arith/hash.hh"
+
+namespace memo
+{
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg(cfg)
+{
+    assert(cfg.sets() > 0);
+    offsetBits = log2Exact(cfg.lineSize);
+    indexBits = log2Exact(cfg.sets());
+    lines.resize(static_cast<size_t>(cfg.sets()) * cfg.ways);
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line.valid = false;
+    stats_ = CacheStats{};
+    tick = 0;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    stats_.accesses++;
+    uint64_t block = addr >> offsetBits;
+    uint64_t index = block & ((uint64_t{1} << indexBits) - 1);
+    uint64_t tag = block >> indexBits;
+    Line *set = &lines[index * cfg.ways];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < cfg.ways; w++) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.tick = ++tick;
+            stats_.hits++;
+            return true;
+        }
+        if (!line.valid)
+            victim = &line;
+        else if (victim->valid && line.tick < victim->tick)
+            victim = &line;
+    }
+    *victim = Line{true, tag, ++tick};
+    return false;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    uint64_t block = addr >> offsetBits;
+    uint64_t index = block & ((uint64_t{1} << indexBits) - 1);
+    uint64_t tag = block >> indexBits;
+    const Line *set = &lines[index * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; w++) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1_cfg,
+                                 const CacheConfig &l2_cfg,
+                                 unsigned memory_latency)
+    : l1_(l1_cfg), l2_(l2_cfg), memLatency(memory_latency)
+{
+}
+
+MemoryHierarchy
+MemoryHierarchy::classic()
+{
+    CacheConfig l1{8 * 1024, 32, 2, 1};
+    CacheConfig l2{256 * 1024, 64, 4, 6};
+    return MemoryHierarchy(l1, l2, 30);
+}
+
+unsigned
+MemoryHierarchy::load(uint64_t addr)
+{
+    if (l1_.access(addr))
+        return l1_.config().hitLatency;
+    if (l2_.access(addr))
+        return l2_.config().hitLatency;
+    return memLatency;
+}
+
+unsigned
+MemoryHierarchy::store(uint64_t addr)
+{
+    // Allocate through both levels; the write buffer hides the latency.
+    if (!l1_.access(addr))
+        l2_.access(addr);
+    return 1;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+}
+
+} // namespace memo

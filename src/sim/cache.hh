@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Two-level data-cache model.
+ *
+ * To measure speedups the paper enhanced its simulator "to incorporate
+ * a memory hierarchy of two caches" (section 3.3); cycle counts of load
+ * instructions then depend on where the line is found. This is a
+ * classic set-associative LRU model at line granularity.
+ */
+
+#ifndef MEMO_SIM_CACHE_HH
+#define MEMO_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace memo
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    uint64_t size = 8 * 1024;  //!< capacity in bytes
+    unsigned lineSize = 32;    //!< line size in bytes (power of two)
+    unsigned ways = 2;         //!< associativity
+    unsigned hitLatency = 1;   //!< cycles on a hit
+
+    unsigned
+    sets() const
+    {
+        return static_cast<unsigned>(size / (lineSize *
+                                             static_cast<uint64_t>(ways)));
+    }
+};
+
+/** Hit/miss counters of one cache level. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+
+    uint64_t misses() const { return accesses - hits; }
+
+    double
+    hitRatio() const
+    {
+        return accesses ? static_cast<double>(hits) / accesses : 0.0;
+    }
+};
+
+/** One set-associative LRU cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Access @p addr; allocate on miss. @return true on a hit. */
+    bool access(uint64_t addr);
+
+    /** Probe without updating state. */
+    bool contains(uint64_t addr) const;
+
+    void reset();
+
+    const CacheConfig &config() const { return cfg; }
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t tick = 0;
+    };
+
+    CacheConfig cfg;
+    unsigned indexBits;
+    unsigned offsetBits;
+    std::vector<Line> lines;
+    CacheStats stats_;
+    uint64_t tick = 0;
+};
+
+/** The L1 + L2 + memory hierarchy driven by the trace replayer. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const CacheConfig &l1_cfg, const CacheConfig &l2_cfg,
+                    unsigned memory_latency);
+
+    /** Classic era-appropriate default: 8K/32B/2 L1, 256K/64B/4 L2. */
+    static MemoryHierarchy classic();
+
+    /**
+     * Perform a load and return its total latency in cycles
+     * (L1 hit latency, or L2 hit latency, or memory latency).
+     */
+    unsigned load(uint64_t addr);
+
+    /**
+     * Perform a store; lines are allocated but the latency is hidden by
+     * the write buffer (1 cycle).
+     */
+    unsigned store(uint64_t addr);
+
+    void reset();
+
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    unsigned memoryLatency() const { return memLatency; }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    unsigned memLatency;
+};
+
+} // namespace memo
+
+#endif // MEMO_SIM_CACHE_HH

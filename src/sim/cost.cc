@@ -1,0 +1,52 @@
+#include "cost.hh"
+
+#include <cassert>
+
+#include "arith/fp.hh"
+
+namespace memo
+{
+
+unsigned
+lookupLatency(unsigned entries)
+{
+    // Small arrays (the paper's 8-64 entry proposals) index and
+    // compare within a cycle; capacity grows access time roughly one
+    // cycle per 16x, like same-era on-chip caches.
+    if (entries <= 128)
+        return 1;
+    if (entries <= 2048)
+        return 2;
+    return 3;
+}
+
+TableCost
+tableCost(Operation op, const MemoConfig &cfg)
+{
+    assert(!cfg.infinite && "infinite tables are a modeling device");
+
+    TableCost cost;
+    bool mant = cfg.tagMode == TagMode::MantissaOnly &&
+                (op == Operation::FpMul || op == Operation::FpDiv ||
+                 op == Operation::FpSqrt);
+    unsigned operand_bits = mant ? fpMantissaBits : 64;
+    unsigned operands = isUnary(op) ? 1 : 2;
+    cost.tagBitsPerEntry = operand_bits * operands;
+    if (mant && op == Operation::FpSqrt)
+        cost.tagBitsPerEntry += 1; // exponent-parity bit
+
+    cost.valueBitsPerEntry = mant ? fpMantissaBits + 2 // frac + delta
+                                  : 64;
+
+    uint64_t per_entry = cost.tagBitsPerEntry + cost.valueBitsPerEntry +
+                         1; // valid bit
+    cost.totalBits = per_entry * cfg.entries;
+    cost.bytes = (cost.totalBits + 7) / 8;
+    // Commutative units compare both operand orders in parallel.
+    unsigned orders = isCommutative(op) ? 2 : 1;
+    cost.comparatorBits = cost.tagBitsPerEntry * cfg.ways * orders;
+    cost.lookupCycles = lookupLatency(cfg.entries);
+    return cost;
+}
+
+} // namespace memo

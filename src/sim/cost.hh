@@ -1,0 +1,51 @@
+/**
+ * @file
+ * MEMO-TABLE hardware cost model (paper section 2.4).
+ *
+ * The paper argues a 32-entry 4-way table is comparable to ~1 KB of
+ * on-chip cache — each entry holds a 128-bit tag (two doubles) plus a
+ * 64-bit result — and that its lookup fits in one cycle because the
+ * array is tiny. This model makes those claims computable for any
+ * geometry/tag mode and estimates how the lookup latency grows with
+ * table size, which bench_ext_cost uses to find the size beyond which
+ * extra capacity no longer pays.
+ */
+
+#ifndef MEMO_SIM_COST_HH
+#define MEMO_SIM_COST_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "core/op.hh"
+
+namespace memo
+{
+
+/** Storage and timing cost of one MEMO-TABLE. */
+struct TableCost
+{
+    unsigned tagBitsPerEntry = 0;   //!< operand tag width
+    unsigned valueBitsPerEntry = 0; //!< stored result width
+    uint64_t totalBits = 0;         //!< whole array
+    uint64_t bytes = 0;             //!< totalBits / 8 (rounded up)
+    unsigned comparatorBits = 0;    //!< bits compared per lookup
+    unsigned lookupCycles = 1;      //!< estimated access latency
+};
+
+/**
+ * Cost of a table of geometry @p cfg attached to the unit executing
+ * @p op. Infinite tables have no defined hardware cost (asserts).
+ */
+TableCost tableCost(Operation op, const MemoConfig &cfg);
+
+/**
+ * Estimated lookup latency (cycles) of a table with @p entries
+ * entries: 1 cycle for the small arrays the paper proposes, growing
+ * with capacity like an on-chip cache's access time.
+ */
+unsigned lookupLatency(unsigned entries);
+
+} // namespace memo
+
+#endif // MEMO_SIM_COST_HH

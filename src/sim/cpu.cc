@@ -1,0 +1,84 @@
+#include "cpu.hh"
+
+#include <cassert>
+
+#include "arith/units.hh"
+
+namespace memo
+{
+
+CpuModel::CpuModel(const CpuConfig &cfg)
+    : cfg(cfg)
+{
+}
+
+SimResult
+CpuModel::run(const Trace &trace, MemoBank *bank)
+{
+    SimResult res;
+    MemoryHierarchy hier(cfg.l1, cfg.l2, cfg.memoryLatency);
+
+    for (const Instruction &inst : trace.instructions()) {
+        unsigned cls_idx = static_cast<unsigned>(inst.cls);
+        unsigned lat;
+        switch (inst.cls) {
+          case InstClass::Load:
+            lat = hier.load(inst.addr);
+            break;
+          case InstClass::Store:
+            lat = hier.store(inst.addr);
+            break;
+          default: {
+            lat = cfg.lat[inst.cls];
+            if (inst.cls == InstClass::IntMul && cfg.earlyOutIntMul) {
+                static const EarlyOutIntMultiplier eom;
+                lat = eom.multiply(static_cast<int64_t>(inst.a),
+                                   static_cast<int64_t>(inst.b))
+                          .cycles;
+            }
+            auto op = memoOperation(inst.cls);
+            MemoTable *table =
+                bank && op ? bank->table(*op) : nullptr;
+            if (table) {
+                if (auto v = table->lookup(inst.a, inst.b)) {
+                    // A successful lookup gives the result of a
+                    // multi-cycle computation in a single cycle.
+                    assert(*v == inst.result &&
+                           "memoized value must match computation");
+                    lat = 1;
+                } else {
+                    table->update(inst.a, inst.b, inst.result);
+                }
+            }
+            break;
+          }
+        }
+        res.cycles[cls_idx] += lat;
+        res.count[cls_idx]++;
+        res.totalCycles += lat;
+    }
+
+    // Annulled delay slots: a deterministic fraction of branches
+    // wastes one issue cycle each.
+    uint64_t branches = res.count[static_cast<unsigned>(
+        InstClass::Branch)];
+    res.annulCycles = branches * cfg.annulPerMille / 1000;
+    res.cycles[static_cast<unsigned>(InstClass::Branch)] +=
+        res.annulCycles;
+    res.totalCycles += res.annulCycles;
+
+    if (bank) {
+        for (Operation op : {Operation::IntMul, Operation::FpMul,
+                             Operation::FpDiv, Operation::FpSqrt,
+                             Operation::FpLog, Operation::FpSin,
+                             Operation::FpCos, Operation::FpExp}) {
+            if (const MemoTable *t = bank->table(op))
+                res.memo[op] = t->stats();
+        }
+    }
+    res.l1 = hier.l1().stats();
+    res.l2 = hier.l2().stats();
+    return res;
+}
+
+} // namespace memo

@@ -1,0 +1,59 @@
+#include "div_issue.hh"
+
+#include <algorithm>
+
+namespace memo
+{
+
+DivIssueResult
+runDivIssue(const Trace &trace, DivEngine engine, unsigned div_latency,
+            const MemoConfig &table_cfg)
+{
+    DivIssueResult res;
+    MemoTable table(Operation::FpDiv, table_cfg);
+
+    uint64_t now = 0;           // issue clock
+    uint64_t free0 = 0;         // first divider free time
+    uint64_t free1 = 0;         // second divider (TwoDividers only)
+    uint64_t last_complete = 0;
+
+    for (const Instruction &inst : trace.instructions()) {
+        now++;
+        if (inst.cls != InstClass::FpDiv) {
+            last_complete = std::max(last_complete, now + 1);
+            continue;
+        }
+        res.divCount++;
+
+        if (engine == DivEngine::DividerPlusTable) {
+            if (auto v = table.lookup(inst.a, inst.b)) {
+                // Served by the MEMO-TABLE issue port in one cycle.
+                (void)v;
+                res.tableHits++;
+                last_complete = std::max(last_complete, now + 1);
+                continue;
+            }
+        }
+
+        uint64_t *unit = &free0;
+        if (engine == DivEngine::TwoDividers && free1 < free0)
+            unit = &free1;
+
+        uint64_t start = std::max(now, *unit);
+        res.missStallCycles += start - now;
+        uint64_t done = start + div_latency;
+        *unit = done;
+        last_complete = std::max(last_complete, done);
+        // In-order issue: the stream cannot run ahead of a stalled
+        // division.
+        now = start;
+
+        if (engine == DivEngine::DividerPlusTable)
+            table.update(inst.a, inst.b, inst.result);
+    }
+
+    res.totalCycles = std::max(now, last_complete);
+    return res;
+}
+
+} // namespace memo

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Division issue-rate model (paper section 2.3, second proposal).
+ *
+ * "It is possible to extend this concept and use MEMO-TABLES not only
+ * in tandem with computation hardware but as CUs themselves. Instead
+ * of having, for instance, two floating point dividers, only one will
+ * be integrated and the second will be an interface to a multi-ported
+ * MEMO-TABLE in the division unit. ... In the case of a miss it will
+ * be stalled until the divider is free."
+ *
+ * This model compares three division-engine configurations on a
+ * trace: one divider, two dividers, and one divider plus a
+ * MEMO-TABLE interface. Non-division instructions retire one per
+ * cycle (they use other issue slots); divisions contend for the
+ * division resources. The figure of merit is the completion time of
+ * the whole stream.
+ */
+
+#ifndef MEMO_SIM_DIV_ISSUE_HH
+#define MEMO_SIM_DIV_ISSUE_HH
+
+#include "core/memo_table.hh"
+#include "trace/trace.hh"
+
+namespace memo
+{
+
+/** Division-engine configuration. */
+enum class DivEngine
+{
+    OneDivider,       //!< a single unpipelined divider
+    TwoDividers,      //!< two unpipelined dividers (the costly option)
+    DividerPlusTable, //!< one divider + MEMO-TABLE issue port (2.3)
+};
+
+/** Outcome of one division-issue run. */
+struct DivIssueResult
+{
+    uint64_t totalCycles = 0;    //!< completion time of the stream
+    uint64_t divCount = 0;       //!< dynamic divisions
+    uint64_t tableHits = 0;      //!< divisions served by the table
+    uint64_t missStallCycles = 0; //!< cycles divisions waited for a
+                                  //!< free divider
+};
+
+/**
+ * Replay the division stream of @p trace under @p engine.
+ *
+ * @param trace any instruction trace; only FpDiv contends
+ * @param engine the division-engine configuration
+ * @param div_latency unpipelined divider latency
+ * @param table_cfg MEMO-TABLE geometry (DividerPlusTable only)
+ */
+DivIssueResult runDivIssue(const Trace &trace, DivEngine engine,
+                           unsigned div_latency,
+                           const MemoConfig &table_cfg = MemoConfig{});
+
+} // namespace memo
+
+#endif // MEMO_SIM_DIV_ISSUE_HH

@@ -1,0 +1,104 @@
+#include "latency.hh"
+
+namespace memo
+{
+
+namespace
+{
+
+/** The single-cycle base machine shared by all presets. */
+LatencyConfig
+baseMachine(const std::string &name)
+{
+    LatencyConfig cfg;
+    cfg.name = name;
+    cfg[InstClass::IntAlu] = 1;
+    cfg[InstClass::IntMul] = 5;
+    cfg[InstClass::FpAdd] = 2;
+    cfg[InstClass::FpMul] = 3;
+    cfg[InstClass::FpDiv] = 13;
+    cfg[InstClass::FpSqrt] = 20;
+    cfg[InstClass::FpLog] = 40;
+    cfg[InstClass::FpSin] = 40;
+    cfg[InstClass::FpCos] = 40;
+    cfg[InstClass::FpExp] = 40;
+    cfg[InstClass::Load] = 1;  // plus memory-hierarchy penalty
+    cfg[InstClass::Store] = 1; // write buffered
+    cfg[InstClass::Branch] = 1;
+    return cfg;
+}
+
+} // anonymous namespace
+
+LatencyConfig
+LatencyConfig::custom(unsigned fp_mul, unsigned fp_div,
+                      const std::string &name)
+{
+    LatencyConfig cfg = baseMachine(name);
+    cfg[InstClass::FpMul] = fp_mul;
+    cfg[InstClass::FpDiv] = fp_div;
+    // Square root tracks the divider (same SRT recurrence hardware).
+    cfg[InstClass::FpSqrt] = fp_div + 2;
+    return cfg;
+}
+
+LatencyConfig
+LatencyConfig::preset(CpuPreset p)
+{
+    switch (p) {
+      case CpuPreset::FastFpu:
+        return custom(3, 13, presetName(p));
+      case CpuPreset::SlowFpu:
+        return custom(5, 39, presetName(p));
+      case CpuPreset::PentiumPro:
+        return custom(3, 39, presetName(p));
+      case CpuPreset::Alpha21164:
+        return custom(4, 31, presetName(p));
+      case CpuPreset::MipsR10000:
+        return custom(2, 40, presetName(p));
+      case CpuPreset::Ppc604e:
+        return custom(5, 31, presetName(p));
+      case CpuPreset::UltraSparcII:
+        return custom(3, 22, presetName(p));
+      case CpuPreset::Pa8000:
+        return custom(5, 31, presetName(p));
+    }
+    return baseMachine("base");
+}
+
+std::string
+presetName(CpuPreset p)
+{
+    switch (p) {
+      case CpuPreset::FastFpu:
+        return "fast-fpu (3/13)";
+      case CpuPreset::SlowFpu:
+        return "slow-fpu (5/39)";
+      case CpuPreset::PentiumPro:
+        return "Pentium Pro";
+      case CpuPreset::Alpha21164:
+        return "Alpha 21164";
+      case CpuPreset::MipsR10000:
+        return "MIPS R10000";
+      case CpuPreset::Ppc604e:
+        return "PPC 604e";
+      case CpuPreset::UltraSparcII:
+        return "UltraSparc-II";
+      case CpuPreset::Pa8000:
+        return "PA 8000";
+    }
+    return "?";
+}
+
+const std::vector<CpuPreset> &
+LatencyConfig::table1Presets()
+{
+    static const std::vector<CpuPreset> presets = {
+        CpuPreset::PentiumPro,   CpuPreset::Alpha21164,
+        CpuPreset::MipsR10000,   CpuPreset::Ppc604e,
+        CpuPreset::UltraSparcII, CpuPreset::Pa8000,
+    };
+    return presets;
+}
+
+} // namespace memo

@@ -1,0 +1,110 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace memo
+{
+
+InOrderPipeline::InOrderPipeline(const PipelineConfig &cfg)
+    : cfg(cfg)
+{
+}
+
+PipelineResult
+InOrderPipeline::run(const Trace &trace, MemoBank *bank)
+{
+    PipelineResult res;
+    MemoryHierarchy hier(cfg.l1, cfg.l2, cfg.memoryLatency);
+
+    uint64_t now = 0;            // issue cycle
+    uint64_t last_complete = 0;  // completion of the latest instruction
+    // Unpipelined units: next cycle each becomes free.
+    uint64_t div_free = 0;
+    uint64_t sqrt_free = 0;
+    uint64_t trans_free = 0;
+    uint64_t mul_free = 0; // only used when the multiplier is serial
+
+    for (const Instruction &inst : trace.instructions()) {
+        now++; // one issue slot per cycle
+        uint64_t done = now;
+
+        auto op = memoOperation(inst.cls);
+        MemoTable *table = bank && op ? bank->table(*op) : nullptr;
+        bool hit = false;
+        if (table) {
+            if (auto v = table->lookup(inst.a, inst.b)) {
+                assert(*v == inst.result);
+                hit = true;
+            } else {
+                table->update(inst.a, inst.b, inst.result);
+            }
+        }
+
+        switch (inst.cls) {
+          case InstClass::Load:
+            done = now + hier.load(inst.addr);
+            break;
+          case InstClass::Store:
+            done = now + hier.store(inst.addr);
+            break;
+          case InstClass::FpDiv:
+          case InstClass::FpSqrt:
+          case InstClass::FpLog:
+          case InstClass::FpSin:
+          case InstClass::FpCos:
+          case InstClass::FpExp: {
+            uint64_t *unit = inst.cls == InstClass::FpDiv ? &div_free
+                             : inst.cls == InstClass::FpSqrt
+                                 ? &sqrt_free
+                                 : &trans_free;
+            if (hit) {
+                // The unit is aborted and freed; the hit completes in
+                // one cycle with no occupancy.
+                done = now + 1;
+            } else {
+                uint64_t start = std::max(now, *unit);
+                res.divStallCycles += start - now;
+                done = start + cfg.lat[inst.cls];
+                *unit = done;
+                now = std::max(now, start); // issue stalls on the unit
+            }
+            break;
+          }
+          case InstClass::FpMul:
+            if (hit) {
+                done = now + 1;
+            } else if (cfg.mulPipelined) {
+                done = now + cfg.lat[inst.cls]; // II = 1
+            } else {
+                // Serial multiplier: it occupies like the divider.
+                uint64_t start = std::max(now, mul_free);
+                res.divStallCycles += start - now;
+                done = start + cfg.lat[inst.cls];
+                mul_free = done;
+                now = std::max(now, start);
+            }
+            break;
+          default:
+            done = now + (hit ? 1 : cfg.lat[inst.cls]);
+            break;
+        }
+
+        last_complete = std::max(last_complete, done);
+    }
+
+    res.issueCycles = now;
+    res.totalCycles = std::max(now, last_complete);
+    if (bank) {
+        for (Operation op : {Operation::IntMul, Operation::FpMul,
+                             Operation::FpDiv, Operation::FpSqrt,
+                             Operation::FpLog, Operation::FpSin,
+                             Operation::FpCos, Operation::FpExp}) {
+            if (const MemoTable *t = bank->table(op))
+                res.memo[op] = t->stats();
+        }
+    }
+    return res;
+}
+
+} // namespace memo

@@ -1,0 +1,90 @@
+#include "instruction.hh"
+
+namespace memo
+{
+
+std::string_view
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntAlu:
+        return "int alu";
+      case InstClass::IntMul:
+        return "int mult";
+      case InstClass::FpAdd:
+        return "fp add";
+      case InstClass::FpMul:
+        return "fp mult";
+      case InstClass::FpDiv:
+        return "fp div";
+      case InstClass::FpSqrt:
+        return "fp sqrt";
+      case InstClass::FpLog:
+        return "fp log";
+      case InstClass::FpSin:
+        return "fp sin";
+      case InstClass::FpCos:
+        return "fp cos";
+      case InstClass::FpExp:
+        return "fp exp";
+      case InstClass::Load:
+        return "load";
+      case InstClass::Store:
+        return "store";
+      case InstClass::Branch:
+        return "branch";
+      default:
+        return "?";
+    }
+}
+
+std::optional<Operation>
+memoOperation(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntMul:
+        return Operation::IntMul;
+      case InstClass::FpMul:
+        return Operation::FpMul;
+      case InstClass::FpDiv:
+        return Operation::FpDiv;
+      case InstClass::FpSqrt:
+        return Operation::FpSqrt;
+      case InstClass::FpLog:
+        return Operation::FpLog;
+      case InstClass::FpSin:
+        return Operation::FpSin;
+      case InstClass::FpCos:
+        return Operation::FpCos;
+      case InstClass::FpExp:
+        return Operation::FpExp;
+      default:
+        return std::nullopt;
+    }
+}
+
+InstClass
+instClassOf(Operation op)
+{
+    switch (op) {
+      case Operation::IntMul:
+        return InstClass::IntMul;
+      case Operation::FpMul:
+        return InstClass::FpMul;
+      case Operation::FpDiv:
+        return InstClass::FpDiv;
+      case Operation::FpSqrt:
+        return InstClass::FpSqrt;
+      case Operation::FpLog:
+        return InstClass::FpLog;
+      case Operation::FpSin:
+        return InstClass::FpSin;
+      case Operation::FpCos:
+        return InstClass::FpCos;
+      case Operation::FpExp:
+        return InstClass::FpExp;
+    }
+    return InstClass::IntAlu;
+}
+
+} // namespace memo

@@ -1,0 +1,31 @@
+#include "trace.hh"
+
+namespace memo
+{
+
+uint64_t
+OpMix::total() const
+{
+    uint64_t t = 0;
+    for (uint64_t c : counts)
+        t += c;
+    return t;
+}
+
+double
+OpMix::fraction(InstClass cls) const
+{
+    uint64_t t = total();
+    return t ? static_cast<double>((*this)[cls]) / t : 0.0;
+}
+
+OpMix
+Trace::mix() const
+{
+    OpMix m;
+    for (const auto &inst : insts)
+        m[inst.cls]++;
+    return m;
+}
+
+} // namespace memo

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dynamic instruction trace container and summary statistics.
+ */
+
+#ifndef MEMO_TRACE_TRACE_HH
+#define MEMO_TRACE_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace memo
+{
+
+/** Per-class dynamic instruction counts. */
+struct OpMix
+{
+    std::array<uint64_t, numInstClasses> counts{};
+
+    uint64_t
+    operator[](InstClass cls) const
+    {
+        return counts[static_cast<unsigned>(cls)];
+    }
+
+    uint64_t &
+    operator[](InstClass cls)
+    {
+        return counts[static_cast<unsigned>(cls)];
+    }
+
+    /** Total dynamic instruction count. */
+    uint64_t total() const;
+
+    /** Fraction of the dynamic instructions in class @p cls. */
+    double fraction(InstClass cls) const;
+};
+
+/** A dynamic instruction trace produced by an instrumented workload. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    void reserve(size_t n) { insts.reserve(n); }
+
+    void push(const Instruction &inst) { insts.push_back(inst); }
+
+    const std::vector<Instruction> &instructions() const { return insts; }
+
+    size_t size() const { return insts.size(); }
+    bool empty() const { return insts.empty(); }
+    void clear() { insts.clear(); }
+
+    /** Count dynamic instructions per class. */
+    OpMix mix() const;
+
+  private:
+    std::vector<Instruction> insts;
+};
+
+} // namespace memo
+
+#endif // MEMO_TRACE_TRACE_HH

@@ -1,0 +1,30 @@
+#include "traced.hh"
+
+namespace memo
+{
+
+namespace
+{
+
+thread_local Recorder *boundRecorder = nullptr;
+
+} // anonymous namespace
+
+TracedScope::TracedScope(Recorder &rec)
+    : previous(boundRecorder)
+{
+    boundRecorder = &rec;
+}
+
+TracedScope::~TracedScope()
+{
+    boundRecorder = previous;
+}
+
+Recorder *
+TracedScope::current()
+{
+    return boundRecorder;
+}
+
+} // namespace memo

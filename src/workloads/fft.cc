@@ -1,0 +1,112 @@
+#include "fft.hh"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace memo
+{
+
+namespace
+{
+
+/** Complex multiply with recorded fp operations. */
+std::complex<double>
+cmul(Recorder &rec, std::complex<double> x, std::complex<double> w)
+{
+    double rr = rec.fsub(rec.mul(x.real(), w.real()),
+                         rec.mul(x.imag(), w.imag()));
+    double ii = rec.fadd(rec.mul(x.real(), w.imag()),
+                         rec.mul(x.imag(), w.real()));
+    return {rr, ii};
+}
+
+} // anonymous namespace
+
+void
+fftInstrumented(Recorder &rec, std::vector<std::complex<double>> &a,
+                bool inverse)
+{
+    size_t n = a.size();
+    assert(n != 0 && (n & (n - 1)) == 0);
+
+    // Bit-reversal permutation; index arithmetic is integer work.
+    for (size_t i = 1, j = 0; i < n; i++) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+            rec.alu();
+        }
+        j ^= bit;
+        rec.alu(2);
+        if (i < j) {
+            std::swap(a[i], a[j]);
+            rec.load(a[i]);
+            rec.load(a[j]);
+            rec.store(a[i], a[i]);
+            rec.store(a[j], a[j]);
+        }
+        rec.branch();
+    }
+
+    // Precomputed twiddles, as a library implementation would hold.
+    for (size_t len = 2; len <= n; len <<= 1) {
+        double ang = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                     (inverse ? 1.0 : -1.0);
+        std::complex<double> wl(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; k++) {
+                std::complex<double> u = a[i + k];
+                rec.load(a[i + k]);
+                rec.load(a[i + k + len / 2]);
+                std::complex<double> v = cmul(rec, a[i + k + len / 2], w);
+                std::complex<double> s(rec.fadd(u.real(), v.real()),
+                                       rec.fadd(u.imag(), v.imag()));
+                std::complex<double> d(rec.fsub(u.real(), v.real()),
+                                       rec.fsub(u.imag(), v.imag()));
+                a[i + k] = s;
+                a[i + k + len / 2] = d;
+                rec.store(a[i + k], s);
+                rec.store(a[i + k + len / 2], d);
+                w *= wl; // twiddle recurrence kept in a register pair
+                rec.alu();
+                rec.branch();
+            }
+        }
+    }
+
+    if (inverse) {
+        double inv_n = static_cast<double>(n);
+        for (auto &x : a) {
+            x = {rec.div(x.real(), inv_n), rec.div(x.imag(), inv_n)};
+            rec.store(x, x);
+        }
+    }
+}
+
+void
+fft2dInstrumented(Recorder &rec,
+                  std::vector<std::complex<double>> &field, int size,
+                  bool inverse)
+{
+    assert(static_cast<size_t>(size) * size == field.size());
+    std::vector<std::complex<double>> line(size);
+
+    for (int y = 0; y < size; y++) {
+        for (int x = 0; x < size; x++)
+            line[x] = field[static_cast<size_t>(y) * size + x];
+        fftInstrumented(rec, line, inverse);
+        for (int x = 0; x < size; x++)
+            field[static_cast<size_t>(y) * size + x] = line[x];
+    }
+    for (int x = 0; x < size; x++) {
+        for (int y = 0; y < size; y++)
+            line[y] = field[static_cast<size_t>(y) * size + x];
+        fftInstrumented(rec, line, inverse);
+        for (int y = 0; y < size; y++)
+            field[static_cast<size_t>(y) * size + x] = line[y];
+    }
+}
+
+} // namespace memo

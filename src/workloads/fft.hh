@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Instrumented radix-2 complex FFT.
+ *
+ * Substrate for the vbrf/vbpf frequency-domain filter kernels. Twiddle
+ * factors are precomputed per size (as the Khoros library would);
+ * butterfly arithmetic is recorded through the Recorder so the memo
+ * tables see the real operand streams: twiddle multiplications carry
+ * near-random mantissas (very low hit ratios), while spectra that have
+ * been mostly zeroed by a mask produce many trivial multiplications.
+ */
+
+#ifndef MEMO_WORKLOADS_FFT_HH
+#define MEMO_WORKLOADS_FFT_HH
+
+#include <complex>
+#include <vector>
+
+#include "trace/recorder.hh"
+
+namespace memo
+{
+
+/** In-place instrumented FFT of a power-of-two complex vector. */
+void fftInstrumented(Recorder &rec, std::vector<std::complex<double>> &a,
+                     bool inverse);
+
+/**
+ * 2-D FFT over a size x size complex field (row FFTs then column FFTs).
+ * @param field row-major, size*size elements
+ */
+void fft2dInstrumented(Recorder &rec,
+                       std::vector<std::complex<double>> &field,
+                       int size, bool inverse);
+
+} // namespace memo
+
+#endif // MEMO_WORKLOADS_FFT_HH

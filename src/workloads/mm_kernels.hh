@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal declarations of the Khoros-style kernel entry points.
+ * External users go through mmKernels() in workload.hh.
+ */
+
+#ifndef MEMO_WORKLOADS_MM_KERNELS_HH
+#define MEMO_WORKLOADS_MM_KERNELS_HH
+
+#include "img/image.hh"
+#include "trace/recorder.hh"
+
+namespace memo
+{
+
+/**
+ * Every kernel records through @p rec and, when @p out is non-null,
+ * writes its primary output plane there (magnitude, slope, stretched
+ * image, ... as appropriate).
+ */
+
+void runVdiff(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVcost(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVslope(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVsqrt(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVgauss(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVdetilt(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVenhance(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVgef(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVwarp(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVrect2pol(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVmpp(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVbrf(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVbpf(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVsurf(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVkmeans(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVgpwl(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVenhpatch(Recorder &rec, const Image &img, Image *out = nullptr);
+void runVspatial(Recorder &rec, const Image &img, Image *out = nullptr);
+
+} // namespace memo
+
+#endif // MEMO_WORKLOADS_MM_KERNELS_HH

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Khoros-style kernels, part C: frequency-domain filters, surface
+ * geometry, clustering, piecewise-linear fit, patch enhancement and
+ * spatial statistics.
+ */
+
+#include "mm_kernels.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "workloads/fft.hh"
+#include "workloads/mm_util.hh"
+
+namespace memo
+{
+
+namespace
+{
+
+/** FFT tile size used by the frequency-domain filters. */
+constexpr int fftSize = 64;
+
+/** Load a centred fftSize x fftSize tile as a complex field. */
+std::vector<std::complex<double>>
+loadTile(Recorder &rec, const Image &img)
+{
+    std::vector<std::complex<double>> field(
+        static_cast<size_t>(fftSize) * fftSize);
+    int x0 = std::max(0, (img.width() - fftSize) / 2);
+    int y0 = std::max(0, (img.height() - fftSize) / 2);
+    for (int y = 0; y < fftSize; y++)
+        for (int x = 0; x < fftSize; x++)
+            field[static_cast<size_t>(y) * fftSize + x] =
+                {pix(rec, img, x0 + x, y0 + y), 0.0};
+    return field;
+}
+
+/**
+ * Frequency-domain filter shared by vbrf/vbpf: forward FFT, multiply
+ * by a radial 0/1 mask, inverse FFT. Mask multiplications are trivial
+ * (x*0, x*1) and are filtered by the MEMO-TABLE's trivial detector;
+ * the non-trivial traffic is the butterfly arithmetic.
+ */
+void
+radialFilter(Recorder &rec, const Image &img, bool band_reject,
+             Image *out)
+{
+    auto field = loadTile(rec, img);
+    fft2dInstrumented(rec, field, fftSize, false);
+
+    double r1 = 0.15 * fftSize;
+    double r2 = 0.38 * fftSize;
+    for (int y = 0; y < fftSize; y++) {
+        for (int x = 0; x < fftSize; x++) {
+            // Centred frequency coordinates.
+            int fx = x < fftSize / 2 ? x : x - fftSize;
+            int fy = y < fftSize / 2 ? y : y - fftSize;
+            int64_t r2i = rec.imul(fx, fx) + rec.imul(fy, fy);
+            double r = std::sqrt(static_cast<double>(r2i));
+            bool in_band = r >= r1 && r <= r2;
+            double mask = band_reject ? (in_band ? 0.0 : 1.0)
+                                      : (in_band ? 1.0 : 0.0);
+            auto &c = field[static_cast<size_t>(y) * fftSize + x];
+            c = {rec.mul(c.real(), mask), rec.mul(c.imag(), mask)};
+            loopStep(rec);
+        }
+    }
+
+    fft2dInstrumented(rec, field, fftSize, true);
+
+    // Magnitude write-back of the filtered tile.
+    Image plane(fftSize, fftSize, 1, PixelType::Float);
+    for (int y = 0; y < fftSize; y++) {
+        for (int x = 0; x < fftSize; x++) {
+            auto &c = field[static_cast<size_t>(y) * fftSize + x];
+            double m = rec.fadd(std::fabs(c.real()),
+                                std::fabs(c.imag()));
+            rec.store(plane.at(x, y), static_cast<float>(m));
+        }
+    }
+    if (out)
+        *out = plane;
+}
+
+} // anonymous namespace
+
+/** vbrf: band-reject filtering in the frequency domain. */
+void
+runVbrf(Recorder &rec, const Image &img, Image *out)
+{
+    radialFilter(rec, img, true, out);
+}
+
+/**
+ * vbpf: band-pass filtering realized as a difference of two local
+ * smoothings (the spatial form of the frequency-domain response),
+ * which is how the narrow-kernel Khoros path computes it: fixed
+ * fractional weights against byte pixels, normalized per pixel.
+ */
+void
+runVbpf(Recorder &rec, const Image &img, Image *out)
+{
+    static constexpr double w_in[9] = {0.0625, 0.125, 0.0625,
+                                       0.125, 0.25, 0.125,
+                                       0.0625, 0.125, 0.0625};
+    Image plane(img.width(), img.height(), 1, PixelType::Float);
+    for (int y = 0; y < img.height(); y++) {
+        for (int x = 0; x < img.width(); x++) {
+            rec.imul(y, img.width());
+            if ((x % 3) == 0)
+                rec.imul(x, y);
+            // Narrow smoothing.
+            double fine = 0.0;
+            int k = 0;
+            for (int dy = -1; dy <= 1; dy++) {
+                for (int dx = -1; dx <= 1; dx++, k++) {
+                    double p = pix(rec, img, x + dx, y + dy);
+                    fine = rec.fadd(fine, rec.mul(w_in[k], p));
+                }
+            }
+            // Broad smoothing at stride 2 with the same stencil.
+            double broad = 0.0;
+            k = 0;
+            for (int dy = -2; dy <= 2; dy += 2) {
+                for (int dx = -2; dx <= 2; dx += 2, k++) {
+                    double p = pix(rec, img, x + dx, y + dy);
+                    broad = rec.fadd(broad, rec.mul(w_in[k], p));
+                }
+            }
+            // The band response is requantized (the tool writes byte
+            // planes between pipeline stages) and the local mean is
+            // carried at quarter-resolution.
+            double band = std::round(rec.fsub(fine, broad));
+            double base = std::round(rec.fadd(broad, 16.0) / 32.0) *
+                          32.0;
+            double v = rec.div(band, base < 32.0 ? 32.0 : base);
+            rec.store(plane.at(x, y), static_cast<float>(v));
+            loopStep(rec);
+        }
+    }
+    if (out)
+        *out = plane;
+}
+
+/**
+ * vsurf: surface parameters — unit normal components and the angle
+ * between the normal and the viewing axis.
+ */
+void
+runVsurf(Recorder &rec, const Image &img, Image *out)
+{
+    Image angle(img.width(), img.height(), 1, PixelType::Float);
+    for (int y = 0; y < img.height(); y++) {
+        rec.imul(y, img.width()); // row base offset
+        for (int x = 0; x < img.width(); x++) {
+            double zx = rec.fsub(pix(rec, img, x + 1, y),
+                                 pix(rec, img, x - 1, y));
+            double zy = rec.fsub(pix(rec, img, x, y + 1),
+                                 pix(rec, img, x, y - 1));
+            // Normal (-zx, -zy, 1); its length and unit z component.
+            double len = rec.sqrt(rec.fadd(
+                rec.fadd(rec.mul(zx, zx), rec.mul(zy, zy)), 1.0));
+            // Fixed-point unit-normal pipeline: 1/4 resolution.
+            double len_q = std::round(len * 4.0) / 4.0;
+            double nz = rec.div(1.0, len_q);
+            double nx = rec.div(zx, len_q);
+            rec.store(angle.at(x, y),
+                      static_cast<float>(std::acos(nz) + 0.0 * nx));
+            loopStep(rec);
+        }
+    }
+    if (out)
+        *out = angle;
+}
+
+/**
+ * vkmeans: k-means clustering of pixel values with a fuzzy membership
+ * confidence (inverse-distance weights), iterated to convergence.
+ */
+void
+runVkmeans(Recorder &rec, const Image &img, Image *out)
+{
+    constexpr int k = 6;
+    constexpr int iterations = 6;
+    double centroid[k];
+    for (int i = 0; i < k; i++)
+        centroid[i] = 255.0 * (i + 0.5) / k;
+
+    for (int iter = 0; iter < iterations; iter++) {
+        double sum[k] = {};
+        uint64_t cnt[k] = {};
+        for (int y = 0; y < img.height(); y++) {
+            for (int x = 0; x < img.width(); x++) {
+                double v = pix(rec, img, x, y);
+                int best = 0;
+                double best_d = 1e300, second_d = 1e300;
+                for (int i = 0; i < k; i++) {
+                    double diff = rec.fsub(v, centroid[i]);
+                    double d = rec.mul(diff, diff);
+                    rec.branch();
+                    if (d < best_d) {
+                        second_d = best_d;
+                        best_d = d;
+                        best = i;
+                    } else if (d < second_d) {
+                        second_d = d;
+                    }
+                }
+                // Membership confidence: nearest vs runner-up.
+                if (second_d > 1e-9)
+                    rec.div(best_d, second_d);
+                sum[best] += v;
+                cnt[best]++;
+                loopStep(rec);
+            }
+        }
+        for (int i = 0; i < k; i++) {
+            if (cnt[i])
+                centroid[i] = rec.div(sum[i],
+                                      static_cast<double>(cnt[i]));
+            rec.branch();
+        }
+    }
+    if (out) {
+        // Final classification plane: each pixel replaced by its
+        // nearest converged centroid (unrecorded convenience pass).
+        *out = Image(img.width(), img.height(), 1, PixelType::Byte);
+        for (int y = 0; y < img.height(); y++) {
+            for (int x = 0; x < img.width(); x++) {
+                double v = img.atClamped(x, y);
+                int best = 0;
+                double best_d = 1e300;
+                for (int i = 0; i < k; i++) {
+                    double d = (v - centroid[i]) * (v - centroid[i]);
+                    if (d < best_d) {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                out->at(x, y) = static_cast<float>(centroid[best]);
+            }
+        }
+        out->quantize();
+    }
+}
+
+/**
+ * vgpwl: two-dimensional piecewise linear image — per tile, corner
+ * anchors define a bilinear patch evaluated by row/column slopes.
+ */
+void
+runVgpwl(Recorder &rec, const Image &img, Image *out)
+{
+    constexpr int tile = 16;
+    Image plane(img.width(), img.height(), 1, PixelType::Float);
+    for (int ty = 0; ty < img.height(); ty += tile) {
+        for (int tx = 0; tx < img.width(); tx += tile) {
+            double c00 = pix(rec, img, tx, ty);
+            double c10 = pix(rec, img, tx + tile, ty);
+            double c01 = pix(rec, img, tx, ty + tile);
+            double c11 = pix(rec, img, tx + tile, ty + tile);
+            // Edge slopes: byte-difference numerators over the tile
+            // span — a tiny operand alphabet for the divider.
+            rec.div(rec.fsub(c10, c00), static_cast<double>(tile));
+            rec.div(rec.fsub(c11, c01), static_cast<double>(tile));
+            for (int dy = 0; dy < tile && ty + dy < img.height(); dy++) {
+                double fy = static_cast<double>(dy) / tile;
+                // Row anchors, rounded to the byte lattice: the whole
+                // surface stays on small repeating operand alphabets.
+                double left = std::round(rec.fadd(c00, rec.mul(
+                    rec.fsub(c01, c00), fy)));
+                double right = std::round(rec.fadd(c10, rec.mul(
+                    rec.fsub(c11, c10), fy)));
+                double rowd = rec.fsub(right, left);
+                rec.div(rowd, static_cast<double>(tile));
+                for (int dx = 0; dx < tile && tx + dx < img.width();
+                     dx++) {
+                    double fx = static_cast<double>(dx) / tile;
+                    double v = rec.fadd(left, rec.mul(rowd, fx));
+                    rec.store(plane.at(tx + dx, ty + dy),
+                              static_cast<float>(v));
+                    loopStep(rec);
+                }
+            }
+        }
+    }
+    if (out)
+        *out = plane;
+}
+
+/**
+ * venhpatch: contrast stretch based on a local histogram — per patch,
+ * the value range is found and pixels are remapped with a patch gain
+ * taken from a precomputed reciprocal table (no divider traffic, as in
+ * the LUT-based Khoros implementation).
+ */
+void
+runVenhpatch(Recorder &rec, const Image &img, Image *out)
+{
+    constexpr int patch = 16;
+    // The tool's reciprocal LUT: 255/range for every possible range.
+    static const auto recip_lut = [] {
+        std::array<double, 256> lut{};
+        for (int i = 1; i < 256; i++)
+            lut[i] = 255.0 / i;
+        lut[0] = 1.0;
+        return lut;
+    }();
+
+    Image plane(img.width(), img.height(), 1, PixelType::Byte);
+    for (int ty = 0; ty < img.height(); ty += patch) {
+        for (int tx = 0; tx < img.width(); tx += patch) {
+            double lo = 255.0, hi = 0.0;
+            for (int dy = 0; dy < patch && ty + dy < img.height();
+                 dy++) {
+                for (int dx = 0; dx < patch && tx + dx < img.width();
+                     dx++) {
+                    double p = pix(rec, img, tx + dx, ty + dy);
+                    // Histogram bin scaling (quantized int multiply).
+                    rec.imul(static_cast<int64_t>(p), 4);
+                    lo = std::min(lo, p);
+                    hi = std::max(hi, p);
+                    rec.alu(2);
+                    rec.branch();
+                }
+            }
+            int range = static_cast<int>(hi - lo);
+            double gain = recip_lut[std::clamp(range, 0, 255)];
+            for (int dy = 0; dy < patch && ty + dy < img.height();
+                 dy++) {
+                for (int dx = 0; dx < patch && tx + dx < img.width();
+                     dx++) {
+                    double p = pix(rec, img, tx + dx, ty + dy);
+                    double v = rec.mul(rec.fsub(p, lo), gain);
+                    rec.store(plane.at(tx + dx, ty + dy),
+                              static_cast<float>(v));
+                    loopStep(rec);
+                }
+            }
+        }
+    }
+    plane.quantize();
+    if (out)
+        *out = plane;
+}
+
+/**
+ * vspatial: statistical spatial feature extraction — mean, variance,
+ * skewness and kurtosis of every 8x8 window, from recorded power sums.
+ */
+void
+runVspatial(Recorder &rec, const Image &img, Image *out)
+{
+    constexpr int win = 8;
+    constexpr double n = win * win;
+    Image features(std::max(1, img.width() / win),
+                   std::max(1, img.height() / win), 1,
+                   PixelType::Float);
+    // Global deviation estimate (integer grey levels), computed by the
+    // tool's setup pass; the per-window z-scores divide by it.
+    double gsum = 0.0, gsum2 = 0.0;
+    for (int y = 0; y < img.height(); y++) {
+        for (int x = 0; x < img.width(); x++) {
+            double v = img.at(x, y);
+            gsum += v;
+            gsum2 += v * v;
+        }
+    }
+    double gn = static_cast<double>(img.width()) * img.height();
+    double gvar = gsum2 / gn - (gsum / gn) * (gsum / gn);
+    double gsd = std::max(1.0, std::round(std::sqrt(gvar)));
+    for (int ty = 0; ty + win <= img.height(); ty += win) {
+        for (int tx = 0; tx + win <= img.width(); tx += win) {
+            double m1 = 0, m2 = 0, m3 = 0, m4 = 0;
+            for (int dy = 0; dy < win; dy++) {
+                for (int dx = 0; dx < win; dx++) {
+                    double v = pix(rec, img, tx + dx, ty + dy);
+                    double v2 = rec.mul(v, v);
+                    double v3 = rec.mul(v2, v);
+                    double v4 = rec.mul(v2, v2);
+                    m1 = rec.fadd(m1, v);
+                    m2 = rec.fadd(m2, v2);
+                    m3 = rec.fadd(m3, v3);
+                    m4 = rec.fadd(m4, v4);
+                    loopStep(rec);
+                }
+            }
+            // Moment normalization multiplies by the exact reciprocal
+            // of the window population (a power of two).
+            double mean = rec.mul(m1, 1.0 / n);
+            double var = rec.fsub(rec.mul(m2, 1.0 / n),
+                                  rec.mul(mean, mean));
+            if (var < 1e-9)
+                var = 1e-9;
+            double sd = rec.sqrt(var);
+            double skew = rec.div(rec.mul(m3, 1.0 / n),
+                                  rec.mul(var, sd));
+            double kurt = rec.div(rec.mul(m4, 1.0 / n),
+                                  rec.mul(var, var));
+            rec.fadd(skew, kurt); // feature vector assembly
+            if (tx / win < features.width() &&
+                ty / win < features.height())
+                features.at(tx / win, ty / win) =
+                    static_cast<float>(sd);
+            // Second pass: per-pixel deviations normalized by the
+            // global deviation (the extracted spatial feature plane).
+            double mean_q = std::round(mean);
+            for (int dy = 0; dy < win; dy++) {
+                for (int dx = 0; dx < win; dx++) {
+                    double v = pix(rec, img, tx + dx, ty + dy);
+                    rec.imul(static_cast<int64_t>(v), 4);
+                    // Deviations saturate at +-6 sigma-equivalents in
+                    // the fixed-point feature plane.
+                    double dv = std::clamp(rec.fsub(v, mean_q), -48.0,
+                                           48.0);
+                    rec.div(dv, gsd);
+                    rec.branch();
+                }
+            }
+            rec.branch();
+        }
+    }
+    if (out)
+        *out = features;
+}
+
+} // namespace memo

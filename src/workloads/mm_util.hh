@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the instrumented Multi-Media kernels.
+ *
+ * The kernels read pixels through Recorder::load so memory traffic is
+ * traced, and perform loop bookkeeping through alu/branch so the
+ * instruction mix (and hence Amdahl's Fraction Enhanced) is realistic.
+ */
+
+#ifndef MEMO_WORKLOADS_MM_UTIL_HH
+#define MEMO_WORKLOADS_MM_UTIL_HH
+
+#include "img/image.hh"
+#include "trace/recorder.hh"
+
+namespace memo
+{
+
+/** Load a pixel (clamped addressing) through the recorder. */
+inline double
+pix(Recorder &rec, const Image &img, int x, int y, int band = 0)
+{
+    x = x < 0 ? 0 : (x >= img.width() ? img.width() - 1 : x);
+    y = y < 0 ? 0 : (y >= img.height() ? img.height() - 1 : y);
+    // Image::at returns by value; load the sample through its address.
+    const float &ref = const_cast<Image &>(img).at(x, y, band);
+    return rec.load(ref);
+}
+
+/** Record per-pixel loop bookkeeping (index update + compare/branch). */
+inline void
+loopStep(Recorder &rec)
+{
+    rec.alu(2);
+    rec.branch();
+}
+
+/** Deterministic xorshift for workload-internal randomness. */
+class WorkloadRng
+{
+  public:
+    explicit WorkloadRng(uint64_t seed) : state(seed ? seed : 1) {}
+
+    uint64_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1p-53;
+    }
+
+    /** Uniform integer in [0, n). */
+    uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace memo
+
+#endif // MEMO_WORKLOADS_MM_UTIL_HH

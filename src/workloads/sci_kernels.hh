@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Internal declarations of the scientific workload analogues.
+ * External users go through perfectWorkloads()/specWorkloads().
+ */
+
+#ifndef MEMO_WORKLOADS_SCI_KERNELS_HH
+#define MEMO_WORKLOADS_SCI_KERNELS_HH
+
+#include "trace/recorder.hh"
+
+namespace memo
+{
+
+// Perfect Club analogues (Table 2).
+void runAdm(Recorder &rec);
+void runQcd(Recorder &rec);
+void runMdg(Recorder &rec);
+void runTrack(Recorder &rec);
+void runOcean(Recorder &rec);
+void runArc2d(Recorder &rec);
+void runFlo52(Recorder &rec);
+void runTrfd(Recorder &rec);
+void runSpec77(Recorder &rec);
+
+// SPEC CFP95 analogues (Table 3).
+void runTomcatv(Recorder &rec);
+void runSwim(Recorder &rec);
+void runSu2cor(Recorder &rec);
+void runHydro2d(Recorder &rec);
+void runMgrid(Recorder &rec);
+void runApplu(Recorder &rec);
+void runTurb3d(Recorder &rec);
+void runApsi(Recorder &rec);
+void runFpppp(Recorder &rec);
+void runWave5(Recorder &rec);
+
+} // namespace memo
+
+#endif // MEMO_WORKLOADS_SCI_KERNELS_HH

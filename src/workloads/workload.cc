@@ -1,0 +1,171 @@
+#include "workload.hh"
+
+#include <stdexcept>
+
+#include "workloads/mm_kernels.hh"
+#include "workloads/sci_kernels.hh"
+
+namespace memo
+{
+
+namespace
+{
+
+constexpr double na = -1.0; // '-' in the paper's tables
+
+} // anonymous namespace
+
+const std::vector<MmKernel> &
+mmKernels()
+{
+    // PaperHits columns: {int32, fpmul32, fpdiv32, intInf, fpmulInf,
+    // fpdivInf} from Table 7 (vsqrt from Tables 11/12).
+    static const std::vector<MmKernel> kernels = {
+        {"vdiff", "Differentiation using two NxN weighted ops (Sobel)",
+         runVdiff, true, true, false,
+         {.49, .54, na, .96, .99, na}},
+        {"vcost", "Surface arc length from a given pixel",
+         runVcost, true, true, true,
+         {.99, .34, .44, .99, .81, .93}},
+        {"vgauss", "Generates Gaussian distributions",
+         runVgauss, false, true, true,
+         {na, .50, .79, na, .87, .95}},
+        {"vspatial", "Statistical spatial feature extraction",
+         runVspatial, true, true, true,
+         {.61, .62, .94, .92, .99, .99}},
+        {"vslope", "Slope and aspect images from elevation data",
+         runVslope, true, true, true,
+         {.34, .15, .25, .99, .60, .83}},
+        {"vgef", "Edge detection",
+         runVgef, true, true, false,
+         {.37, .33, na, .99, .99, na}},
+        {"vdetilt", "Best-fit plane subtracted from the image",
+         runVdetilt, false, true, false,
+         {na, .23, na, na, .46, na}},
+        {"vwarp", "Polynomial geometric transformation (warp)",
+         runVwarp, true, true, true,
+         {.27, .57, .38, .99, .63, .68}},
+        {"venhance", "Local transformation (mean & variance)",
+         runVenhance, false, true, true,
+         {na, .57, .12, na, .96, .47}},
+        {"vrect2pol", "Conversion of rectangular to polar data",
+         runVrect2pol, false, true, true,
+         {na, .42, .61, na, .97, .80}},
+        {"vmpp", "2-D information from COMPLEX images",
+         runVmpp, false, true, true,
+         {na, .41, .56, na, .89, .98}},
+        {"vbrf", "Band-reject filtering in the frequency domain",
+         runVbrf, true, true, true,
+         {.72, .01, .05, .99, .64, .88}},
+        {"vbpf", "Band-pass filtering in the frequency domain",
+         runVbpf, true, true, true,
+         {.72, .54, .52, .99, .52, .80}},
+        {"vsurf", "Surface parameters (normal and angle)",
+         runVsurf, true, true, true,
+         {.48, .25, .33, .93, .65, .83}},
+        {"vgpwl", "Two dimensional piecewise linear image",
+         runVgpwl, false, true, true,
+         {na, .50, .58, na, .99, .99}},
+        {"venhpatch", "Stretches contrast based on a local histogram",
+         runVenhpatch, true, true, false,
+         {.99, .68, na, .99, .99, na}},
+        {"vkmeans", "Kmeans clustering algorithm",
+         runVkmeans, false, true, true,
+         {na, .39, .58, na, .99, .97}},
+        {"vsqrt", "Square root of each pixel",
+         runVsqrt, false, true, true,
+         {na, .39, .54, na, na, na}},
+    };
+    return kernels;
+}
+
+const MmKernel &
+mmKernelByName(std::string_view name)
+{
+    for (const auto &k : mmKernels()) {
+        if (k.name == name)
+            return k;
+    }
+    throw std::out_of_range("unknown MM kernel: " + std::string(name));
+}
+
+const std::vector<std::string> &
+sweepKernelNames()
+{
+    // The five sample applications of Figures 3 and 4.
+    static const std::vector<std::string> names = {
+        "vcost", "venhance", "vgpwl", "vspatial", "vsurf",
+    };
+    return names;
+}
+
+const std::vector<SciWorkload> &
+perfectWorkloads()
+{
+    static const std::vector<SciWorkload> workloads = {
+        {"ADM", "Perfect", "Air pollution, fluid dynamics", runAdm,
+         true, true, true, {.98, .13, .15, .99, .41, .56}},
+        {"QCD", "Perfect", "Lattice gauge, quantum chromodynamics",
+         runQcd, true, true, true, {.02, .00, .00, .07, .04, .00}},
+        {"MDG", "Perfect", "Liquid water simulation, molecular dynamics",
+         runMdg, false, true, true, {na, .00, .02, na, .04, .03}},
+        {"TRACK", "Perfect", "Missile tracking, signal processing",
+         runTrack, true, true, true, {.98, .17, .09, .99, .46, .89}},
+        {"OCEAN", "Perfect", "Ocean simulation, 2-D fluid dynamics",
+         runOcean, true, true, true, {.15, .03, .03, .99, .30, .99}},
+        {"ARC2D", "Perfect", "Supersonic reentry, 2-D fluid dynamics",
+         runArc2d, true, true, true, {.94, .15, .23, .99, .45, .26}},
+        {"FLO52", "Perfect", "Transonic flow, 2-D fluid dynamics",
+         runFlo52, true, true, true, {.86, .02, .06, .97, .11, .20}},
+        {"TRFD", "Perfect",
+         "2-electron transform integrals, molecular dynamics", runTrfd,
+         true, true, true, {.60, .18, .85, .99, .59, .99}},
+        {"SPEC77", "Perfect", "Weather simulation, fluid dynamics",
+         runSpec77, true, true, true, {.06, .28, .01, .97, .37, .15}},
+    };
+    return workloads;
+}
+
+const std::vector<SciWorkload> &
+specWorkloads()
+{
+    static const std::vector<SciWorkload> workloads = {
+        {"tomcatv", "SPEC", "Vectorized mesh generation", runTomcatv,
+         true, true, true, {.14, .01, .00, .99, .16, .00}},
+        {"swim", "SPEC", "Shallow water equations", runSwim,
+         false, true, true, {na, .16, .00, na, .93, .74}},
+        {"su2cor", "SPEC", "Monte-Carlo method", runSu2cor,
+         true, false, false, {.26, na, na, .99, na, na}},
+        {"hydro2d", "SPEC", "Navier Stokes equations", runHydro2d,
+         true, true, true, {.15, .75, .78, .98, .97, .97}},
+        {"mgrid", "SPEC", "3d potential field", runMgrid,
+         true, true, false, {.83, .00, na, .99, .01, na}},
+        {"applu", "SPEC", "Partial differential equations", runApplu,
+         true, true, true, {.97, .25, .25, .99, .66, .64}},
+        {"turb3d", "SPEC", "Turbulence modeling", runTurb3d,
+         true, true, true, {.80, .16, .03, .99, .86, .99}},
+        {"apsi", "SPEC", "Weather prediction", runApsi,
+         true, true, true, {.95, .16, .13, .99, .39, .57}},
+        {"fpppp", "SPEC", "Gaussian series of quantum chemistry",
+         runFpppp, true, true, true, {.53, .29, .15, .99, .55, .62}},
+        {"wave5", "SPEC", "Maxwell's equation", runWave5,
+         false, true, true, {na, .05, .02, na, .11, .16}},
+    };
+    return workloads;
+}
+
+const SciWorkload &
+sciWorkloadByName(std::string_view name)
+{
+    for (const auto &w : perfectWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    for (const auto &w : specWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    throw std::out_of_range("unknown workload: " + std::string(name));
+}
+
+} // namespace memo

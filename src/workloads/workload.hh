@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload registry.
+ *
+ * Two families mirror the paper's three trace sources:
+ *  - MmKernel: reimplementations of the Khoros image/DSP applications
+ *    of Table 4; each runs on an input image and records its dynamic
+ *    instruction stream through a Recorder.
+ *  - SciWorkload: self-contained scientific kernels standing in for the
+ *    Perfect Club (Table 2) and SPEC CFP95 (Table 3) applications.
+ */
+
+#ifndef MEMO_WORKLOADS_WORKLOAD_HH
+#define MEMO_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "img/image.hh"
+#include "trace/recorder.hh"
+
+namespace memo
+{
+
+/** Reference hit ratios from the paper, for the EXPERIMENTS.md diff. */
+struct PaperHits
+{
+    /** 32-entry 4-way table; negative = op absent ('-' in the table). */
+    double intMul32, fpMul32, fpDiv32;
+    /** "Infinite" fully associative table. */
+    double intMulInf, fpMulInf, fpDivInf;
+};
+
+/** One Khoros-style Multi-Media kernel. */
+struct MmKernel
+{
+    std::string name;
+    std::string description;
+    /**
+     * Run the kernel over @p input, recording into @p rec; the
+     * primary output plane is written to @p out when non-null.
+     */
+    void (*run)(Recorder &rec, const Image &input, Image *out);
+    /** Which memoizable op classes the kernel issues. */
+    bool usesIntMul, usesFpMul, usesFpDiv;
+    PaperHits paper;
+};
+
+/** The 17 Table 7 kernels plus vsqrt (Tables 9 and 11). */
+const std::vector<MmKernel> &mmKernels();
+
+/** Lookup by name; throws std::out_of_range. */
+const MmKernel &mmKernelByName(std::string_view name);
+
+/** Names of the five kernels used for Figures 3 and 4. */
+const std::vector<std::string> &sweepKernelNames();
+
+/** One scientific (Perfect / SPEC CFP95) workload analogue. */
+struct SciWorkload
+{
+    std::string name;
+    std::string suite; //!< "Perfect" or "SPEC"
+    std::string description;
+    void (*run)(Recorder &rec);
+    bool usesIntMul, usesFpMul, usesFpDiv;
+    PaperHits paper;
+};
+
+/** Analogues of the nine Perfect Club applications (Table 5). */
+const std::vector<SciWorkload> &perfectWorkloads();
+
+/** Analogues of the ten SPEC CFP95 applications (Table 6). */
+const std::vector<SciWorkload> &specWorkloads();
+
+/** Lookup by name across both suites; throws std::out_of_range. */
+const SciWorkload &sciWorkloadByName(std::string_view name);
+
+} // namespace memo
+
+#endif // MEMO_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the analysis helpers: Levenberg-Marquardt fitting and the
+ * table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/lmfit.hh"
+#include "analysis/table.hh"
+
+namespace memo
+{
+namespace
+{
+
+TEST(LmFit, ExactLine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; i++) {
+        xs.push_back(i * 0.5);
+        ys.push_back(0.8 - 0.05 * i * 0.5);
+    }
+    FitResult fit = fitLine(xs, ys);
+    ASSERT_EQ(fit.params.size(), 2u);
+    EXPECT_NEAR(fit.params[0], 0.8, 1e-6);
+    EXPECT_NEAR(fit.params[1], -0.05, 1e-6);
+    EXPECT_LT(fit.residualSumSquares, 1e-10);
+}
+
+TEST(LmFit, NoisyLineRecoversSlope)
+{
+    // Deterministic "noise" from a fixed pattern.
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 40; i++) {
+        double x = i * 0.2;
+        double noise = ((i * 37) % 11 - 5) * 0.004;
+        xs.push_back(x);
+        ys.push_back(0.6 - 0.05 * x + noise);
+    }
+    FitResult fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.params[1], -0.05, 0.01);
+}
+
+TEST(LmFit, NonlinearExponentialModel)
+{
+    auto model = [](double x, const std::vector<double> &p) {
+        return p[0] * std::exp(-p[1] * x);
+    };
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 30; i++) {
+        double x = i * 0.1;
+        xs.push_back(x);
+        ys.push_back(2.5 * std::exp(-0.7 * x));
+    }
+    FitResult fit = levenbergMarquardt(model, {1.0, 0.1}, xs, ys);
+    EXPECT_NEAR(fit.params[0], 2.5, 1e-3);
+    EXPECT_NEAR(fit.params[1], 0.7, 1e-3);
+}
+
+TEST(LmFit, ConstantDataGivesZeroSlope)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    std::vector<double> ys = {0.4, 0.4, 0.4, 0.4};
+    FitResult fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.params[1], 0.0, 1e-8);
+    EXPECT_NEAR(fit.params[0], 0.4, 1e-8);
+}
+
+TEST(Table, RatioFormatting)
+{
+    EXPECT_EQ(TextTable::ratio(0.45), ".45");
+    EXPECT_EQ(TextTable::ratio(0.05), ".05");
+    EXPECT_EQ(TextTable::ratio(1.0), "1.00");
+    EXPECT_EQ(TextTable::ratio(0.999), "1.00");
+    EXPECT_EQ(TextTable::ratio(-1.0), "-");
+    EXPECT_EQ(TextTable::ratio(std::nan("")), "-");
+    EXPECT_EQ(TextTable::ratio(0.0), ".00");
+}
+
+TEST(Table, FixedAndCount)
+{
+    EXPECT_EQ(TextTable::fixed(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::fixed(2.0, 1), "2.0");
+    EXPECT_EQ(TextTable::count(12345), "12345");
+}
+
+TEST(Table, CsvOutput)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"plain", "1.5"});
+    t.addRow({"with,comma", "a\"b"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(),
+              "name,value\nplain,1.5\n\"with,comma\",\"a\"\"b\"\n");
+}
+
+TEST(Table, RendersAlignedGrid)
+{
+    TextTable t({"application", "hit", "speedup"});
+    t.addRow({"vcost", ".44", "1.05"});
+    t.addRow({"vspatial", ".94", "1.30"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+
+    EXPECT_NE(out.find("application"), std::string::npos);
+    EXPECT_NE(out.find("vspatial"), std::string::npos);
+    // All lines between rules have equal width.
+    std::istringstream lines(out);
+    std::string line;
+    size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+} // anonymous namespace
+} // namespace memo

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the hardware cost model (sim/cost).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cost.hh"
+
+namespace memo
+{
+namespace
+{
+
+TEST(Cost, PaperDieSizeClaim)
+{
+    // Section 2.4: a 32-entry table holds 32 x 3 double-precision
+    // values = 768 bytes of tag+result storage.
+    MemoConfig cfg; // 32/4 full-value
+    TableCost c = tableCost(Operation::FpDiv, cfg);
+    EXPECT_EQ(c.tagBitsPerEntry, 128u);
+    EXPECT_EQ(c.valueBitsPerEntry, 64u);
+    // 768 data bytes plus a valid bit per entry.
+    EXPECT_EQ(c.totalBits, 32u * (128 + 64 + 1));
+    EXPECT_GE(c.bytes, 768u);
+    EXPECT_LE(c.bytes, 800u);
+}
+
+TEST(Cost, MantissaModeShrinksTags)
+{
+    MemoConfig full;
+    MemoConfig mant;
+    mant.tagMode = TagMode::MantissaOnly;
+    TableCost cf = tableCost(Operation::FpMul, full);
+    TableCost cm = tableCost(Operation::FpMul, mant);
+    EXPECT_LT(cm.tagBitsPerEntry, cf.tagBitsPerEntry);
+    EXPECT_EQ(cm.tagBitsPerEntry, 104u); // 2 x 52
+    EXPECT_LT(cm.bytes, cf.bytes);
+}
+
+TEST(Cost, UnaryTablesAreHalfWidth)
+{
+    MemoConfig cfg;
+    TableCost bin = tableCost(Operation::FpDiv, cfg);
+    TableCost un = tableCost(Operation::FpSqrt, cfg);
+    EXPECT_EQ(un.tagBitsPerEntry, 64u);
+    EXPECT_LT(un.bytes, bin.bytes);
+}
+
+TEST(Cost, CommutativeUnitsDoubleComparators)
+{
+    MemoConfig cfg;
+    TableCost mul = tableCost(Operation::FpMul, cfg);
+    TableCost div = tableCost(Operation::FpDiv, cfg);
+    EXPECT_EQ(mul.comparatorBits, 2u * div.comparatorBits);
+}
+
+TEST(Cost, LookupLatencyGrowsWithCapacity)
+{
+    EXPECT_EQ(lookupLatency(8), 1u);
+    EXPECT_EQ(lookupLatency(32), 1u);
+    EXPECT_EQ(lookupLatency(128), 1u);
+    EXPECT_EQ(lookupLatency(256), 2u);
+    EXPECT_EQ(lookupLatency(2048), 2u);
+    EXPECT_EQ(lookupLatency(8192), 3u);
+}
+
+TEST(Cost, SqrtParityBitCounted)
+{
+    MemoConfig mant;
+    mant.tagMode = TagMode::MantissaOnly;
+    TableCost c = tableCost(Operation::FpSqrt, mant);
+    EXPECT_EQ(c.tagBitsPerEntry, 53u); // 52-bit fraction + parity
+}
+
+} // anonymous namespace
+} // namespace memo

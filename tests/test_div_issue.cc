@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the division issue-rate model (sim/div_issue), the
+ * section 2.3 "MEMO-TABLE as a computation unit" study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/div_issue.hh"
+#include "trace/recorder.hh"
+
+namespace memo
+{
+namespace
+{
+
+/** n back-to-back divisions over a given operand alphabet size. */
+Trace
+divStream(int n, int alphabet)
+{
+    Trace trace;
+    Recorder rec(trace);
+    for (int i = 0; i < n; i++)
+        rec.div(10.0 + i % alphabet, 3.0);
+    return trace;
+}
+
+TEST(DivIssue, TwoDividersBeatOne)
+{
+    Trace trace = divStream(100, 100); // all distinct: tables useless
+    auto one = runDivIssue(trace, DivEngine::OneDivider, 13);
+    auto two = runDivIssue(trace, DivEngine::TwoDividers, 13);
+    EXPECT_LT(two.totalCycles, one.totalCycles);
+    EXPECT_LT(two.missStallCycles, one.missStallCycles);
+}
+
+TEST(DivIssue, TableUselessWithoutReuse)
+{
+    Trace trace = divStream(100, 100);
+    auto one = runDivIssue(trace, DivEngine::OneDivider, 13);
+    auto tbl = runDivIssue(trace, DivEngine::DividerPlusTable, 13);
+    EXPECT_EQ(tbl.tableHits, 0u);
+    EXPECT_EQ(tbl.totalCycles, one.totalCycles);
+}
+
+TEST(DivIssue, TableApproachesTwoDividersWithReuse)
+{
+    Trace trace = divStream(400, 4); // heavy reuse
+    auto one = runDivIssue(trace, DivEngine::OneDivider, 13);
+    auto two = runDivIssue(trace, DivEngine::TwoDividers, 13);
+    auto tbl = runDivIssue(trace, DivEngine::DividerPlusTable, 13);
+
+    EXPECT_GT(tbl.tableHits, 350u); // 4 cold misses, rest hit
+    EXPECT_LT(tbl.totalCycles, one.totalCycles);
+    // With ~99% hits the table configuration beats even two dividers
+    // (hits cost one cycle; a second divider still costs 13).
+    EXPECT_LE(tbl.totalCycles, two.totalCycles);
+}
+
+TEST(DivIssue, NonDivInstructionsFlowThrough)
+{
+    Trace trace;
+    Recorder rec(trace);
+    rec.alu(50);
+    auto res = runDivIssue(trace, DivEngine::OneDivider, 13);
+    EXPECT_EQ(res.divCount, 0u);
+    EXPECT_EQ(res.totalCycles, 51u); // 50 issues + 1-cycle completion
+}
+
+TEST(DivIssue, CountsDivisions)
+{
+    Trace trace = divStream(7, 3);
+    auto res = runDivIssue(trace, DivEngine::OneDivider, 13);
+    EXPECT_EQ(res.divCount, 7u);
+}
+
+TEST(DivIssue, LatencyScalesStalls)
+{
+    Trace trace = divStream(50, 50);
+    auto fast = runDivIssue(trace, DivEngine::OneDivider, 13);
+    auto slow = runDivIssue(trace, DivEngine::OneDivider, 39);
+    EXPECT_GT(slow.totalCycles, fast.totalCycles);
+    EXPECT_GT(slow.missStallCycles, fast.missStallCycles);
+}
+
+} // anonymous namespace
+} // namespace memo

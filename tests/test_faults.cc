@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for fault injection and parity protection (core/memo_table)
+ * and for the early-out integer multiplier (arith/units).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arith/fp.hh"
+#include "arith/units.hh"
+#include "core/memo_table.hh"
+#include "sim/cpu.hh"
+#include "trace/recorder.hh"
+
+namespace memo
+{
+namespace
+{
+
+/** Find the (set, way) holding a known single entry. */
+bool
+findEntryPosition(MemoTable &t, const MemoConfig &cfg, unsigned &set,
+                  unsigned &way)
+{
+    for (set = 0; set < cfg.sets(); set++)
+        for (way = 0; way < cfg.ways; way++)
+            if (t.injectBitFlip(set, way, 0)) {
+                // Undo the probe flip.
+                t.injectBitFlip(set, way, 0);
+                return true;
+            }
+    return false;
+}
+
+TEST(Faults, UnprotectedFlipSilentlyCorrupts)
+{
+    MemoConfig cfg;
+    MemoTable t(Operation::FpDiv, cfg);
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+
+    unsigned set, way;
+    ASSERT_TRUE(findEntryPosition(t, cfg, set, way));
+    ASSERT_TRUE(t.injectBitFlip(set, way, 7));
+
+    auto hit = t.lookup(fpBits(10.0), fpBits(4.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NE(*hit, fpBits(2.5)); // wrong value, silently returned
+    EXPECT_EQ(t.stats().parityMisses, 0u);
+}
+
+TEST(Faults, ParityDetectsFlip)
+{
+    MemoConfig cfg;
+    cfg.parityProtected = true;
+    MemoTable t(Operation::FpDiv, cfg);
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+
+    unsigned set, way;
+    ASSERT_TRUE(findEntryPosition(t, cfg, set, way));
+    ASSERT_TRUE(t.injectBitFlip(set, way, 7));
+
+    // The corrupted entry is detected, dropped and missed.
+    EXPECT_FALSE(t.lookup(fpBits(10.0), fpBits(4.0)).has_value());
+    EXPECT_EQ(t.stats().parityMisses, 1u);
+    // Re-learn and hit correctly afterwards.
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    auto hit = t.lookup(fpBits(10.0), fpBits(4.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, fpBits(2.5));
+}
+
+TEST(Faults, ParityIntactEntriesUnaffected)
+{
+    MemoConfig cfg;
+    cfg.parityProtected = true;
+    MemoTable t(Operation::FpDiv, cfg);
+    for (int i = 2; i < 10; i++) {
+        double a = 1.0 + i * 0.25;
+        t.update(fpBits(a), fpBits(4.0), fpBits(a / 4.0));
+    }
+    for (int i = 2; i < 10; i++) {
+        double a = 1.0 + i * 0.25;
+        auto hit = t.lookup(fpBits(a), fpBits(4.0));
+        ASSERT_TRUE(hit.has_value()) << i;
+        EXPECT_EQ(fpFromBits(*hit), a / 4.0);
+    }
+    EXPECT_EQ(t.stats().parityMisses, 0u);
+}
+
+TEST(Faults, InjectIntoInvalidEntryFails)
+{
+    MemoConfig cfg;
+    MemoTable t(Operation::FpDiv, cfg);
+    EXPECT_FALSE(t.injectBitFlip(0, 0, 5));
+}
+
+TEST(EarlyOutMul, LatencyTracksOperandWidth)
+{
+    EarlyOutIntMultiplier m(8, 1);
+    // Narrow operands finish fast; wide ones take the full scan.
+    EXPECT_LT(m.latencyFor(3), m.latencyFor(1 << 30));
+    EXPECT_LT(m.latencyFor(1 << 30), m.latencyFor(int64_t{1} << 60));
+    EXPECT_EQ(m.latencyFor(0), 2u);  // immediate early-out + overhead
+    EXPECT_EQ(m.latencyFor(-1), 2u); // sign extension only
+    EXPECT_LE(m.latencyFor(int64_t{1} << 62), m.maxLatency());
+}
+
+TEST(EarlyOutMul, ScansTheNarrowerOperand)
+{
+    EarlyOutIntMultiplier m(8, 1);
+    auto wide_narrow = m.multiply(int64_t{1} << 60, 7);
+    auto narrow_wide = m.multiply(7, int64_t{1} << 60);
+    EXPECT_EQ(wide_narrow.cycles, narrow_wide.cycles);
+    EXPECT_EQ(wide_narrow.cycles, m.latencyFor(7));
+}
+
+TEST(EarlyOutMul, ProductsAreExact)
+{
+    EarlyOutIntMultiplier m;
+    EXPECT_EQ(m.multiply(6, 7).value, 42);
+    EXPECT_EQ(m.multiply(-6, 7).value, -42);
+    EXPECT_EQ(m.multiply(-6, -7).value, 42);
+    EXPECT_EQ(m.multiply(123456789, 987654321).value,
+              123456789LL * 987654321LL);
+}
+
+TEST(EarlyOutMul, CpuModelUsesOperandDependentLatency)
+{
+    Trace narrow, wide;
+    {
+        Recorder rec(narrow);
+        for (int i = 0; i < 50; i++)
+            rec.imul(3 + i % 4, 5); // distinct-ish narrow products
+    }
+    {
+        Recorder rec(wide);
+        for (int i = 0; i < 50; i++)
+            rec.imul((int64_t{1} << 50) + i, (int64_t{1} << 50) + 2 * i);
+    }
+    CpuConfig cfg;
+    cfg.earlyOutIntMul = true;
+    CpuModel cpu(cfg);
+    uint64_t narrow_cycles = cpu.run(narrow).totalCycles;
+    uint64_t wide_cycles = cpu.run(wide).totalCycles;
+    EXPECT_LT(narrow_cycles, wide_cycles);
+
+    // With the fixed-latency multiplier both streams cost the same.
+    CpuConfig fixed;
+    CpuModel fixed_cpu(fixed);
+    EXPECT_EQ(fixed_cpu.run(narrow).totalCycles,
+              fixed_cpu.run(wide).totalCycles);
+}
+
+} // anonymous namespace
+} // namespace memo

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the synthetic image generators: the standard set must
+ * match the paper's Table 8 geometry and land near its entropy
+ * profile, deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "img/entropy.hh"
+#include "img/generate.hh"
+
+namespace memo
+{
+namespace
+{
+
+TEST(Generate, StandardSetHasFourteenImages)
+{
+    EXPECT_EQ(standardImages().size(), 14u);
+}
+
+TEST(Generate, GeometryMatchesTable8)
+{
+    const auto &mandrill = imageByName("mandrill");
+    EXPECT_EQ(mandrill.image.width(), 256);
+    EXPECT_EQ(mandrill.image.height(), 256);
+    EXPECT_EQ(mandrill.image.bands(), 1);
+    EXPECT_EQ(mandrill.image.type(), PixelType::Byte);
+
+    const auto &lablabel = imageByName("lablabel");
+    EXPECT_EQ(lablabel.image.width(), 486);
+    EXPECT_EQ(lablabel.image.height(), 243);
+    EXPECT_EQ(lablabel.image.type(), PixelType::Integer);
+
+    const auto &head = imageByName("head");
+    EXPECT_EQ(head.image.type(), PixelType::Float);
+
+    const auto &lenna = imageByName("lenna.rgb");
+    EXPECT_EQ(lenna.image.bands(), 3);
+    EXPECT_EQ(lenna.image.width(), 480);
+    EXPECT_EQ(lenna.image.height(), 512);
+}
+
+TEST(Generate, UnknownNameThrows)
+{
+    EXPECT_THROW(imageByName("no-such-image"), std::out_of_range);
+}
+
+TEST(Generate, EntropiesTrackPaperProfile)
+{
+    for (const auto &ni : standardImages()) {
+        if (std::isnan(ni.paperEntropyFull))
+            continue;
+        double full = imageEntropy(ni.image);
+        double e8 = windowEntropy(ni.image, 8);
+        EXPECT_NEAR(full, ni.paperEntropyFull, 0.75) << ni.name;
+        EXPECT_NEAR(e8, ni.paperEntropy8, 1.1) << ni.name;
+        // Windowed entropy is always below the full-image entropy.
+        EXPECT_LT(e8, full + 1e-9) << ni.name;
+    }
+}
+
+TEST(Generate, EntropyOrderingPreserved)
+{
+    // The key property behind Figure 2: the generated set must span
+    // the same low-to-high entropy ordering as the paper's inputs.
+    double fractal = imageEntropy(imageByName("fractal").image);
+    double lablabel = imageEntropy(imageByName("lablabel").image);
+    double airport = imageEntropy(imageByName("airport1").image);
+    double mandrill = imageEntropy(imageByName("mandrill").image);
+    double lenna = imageEntropy(imageByName("lenna.rgb").image);
+
+    EXPECT_LT(fractal, lablabel);
+    EXPECT_LT(lablabel, airport);
+    EXPECT_LT(airport, mandrill);
+    EXPECT_LT(mandrill, lenna + 0.7);
+}
+
+TEST(Generate, Deterministic)
+{
+    Image a = genNatural(64, 64, 1, 42, 10.0, 4, 0.6);
+    Image b = genNatural(64, 64, 1, 42, 10.0, 4, 0.6);
+    EXPECT_EQ(a.raw(), b.raw());
+
+    Image c = genNatural(64, 64, 1, 43, 10.0, 4, 0.6);
+    EXPECT_NE(a.raw(), c.raw());
+}
+
+TEST(Generate, PosterizeControlsAlphabet)
+{
+    Image coarse = genNatural(128, 128, 1, 7, 12.0, 4, 0.6, 16);
+    Image fine = genNatural(128, 128, 1, 7, 12.0, 4, 0.6, 256);
+    EXPECT_LT(imageEntropy(coarse), imageEntropy(fine));
+    EXPECT_LE(imageEntropy(coarse), 4.0); // 16 levels -> <= 4 bits
+}
+
+TEST(Generate, GammaSkewsDark)
+{
+    Image flat = genNatural(128, 128, 1, 7, 12.0, 4, 0.6, 256, 1.0);
+    Image dark = genNatural(128, 128, 1, 7, 12.0, 4, 0.6, 256, 4.0);
+    double mean_flat = 0, mean_dark = 0;
+    for (float v : flat.raw())
+        mean_flat += v;
+    for (float v : dark.raw())
+        mean_dark += v;
+    EXPECT_LT(mean_dark, mean_flat);
+}
+
+TEST(Generate, EqualizeRaisesPooledEntropy)
+{
+    // Equalization cannot raise a single band's entropy (the remap is
+    // a function of the quantized value), but it evens out the pooled
+    // histogram of multi-band images — which is what Table 8 reports
+    // for the .rgb inputs.
+    Image plain = genNatural(256, 256, 3, 7, 8.0, 6, 0.65);
+    Image eq = genNatural(256, 256, 3, 7, 8.0, 6, 0.65, 256, 1.0,
+                          true);
+    EXPECT_GT(imageEntropy(eq), imageEntropy(plain));
+    EXPECT_GT(imageEntropy(eq), 7.5);
+}
+
+TEST(Generate, LabelsUseSmallAlphabet)
+{
+    Image labels = genLabels(128, 128, 10, 99);
+    EXPECT_EQ(labels.type(), PixelType::Integer);
+    double max = labels.maxValue();
+    EXPECT_LT(max, 10.0f);
+    EXPECT_LE(imageEntropy(labels), std::log2(10.0) + 1e-9);
+}
+
+TEST(Generate, FractalIsLowEntropy)
+{
+    Image f = genFractal(128, 128, 24, 5);
+    EXPECT_LT(imageEntropy(f), 3.0);
+}
+
+TEST(Generate, GradientRamp)
+{
+    Image g = genGradient(256, 4);
+    EXPECT_EQ(g.at(0, 0), 0.0f);
+    EXPECT_EQ(g.at(255, 0), 255.0f);
+    EXPECT_LE(g.at(100, 1), g.at(200, 1));
+}
+
+TEST(Generate, SmoothFloatIsSmooth)
+{
+    Image f = genSmoothFloat(64, 64, 3);
+    EXPECT_EQ(f.type(), PixelType::Float);
+    // Neighbouring samples differ slowly relative to the range.
+    float range = f.maxValue() - f.minValue();
+    ASSERT_GT(range, 0.0f);
+    for (int y = 0; y < 63; y++) {
+        for (int x = 0; x < 63; x++) {
+            EXPECT_LT(std::fabs(f.at(x + 1, y) - f.at(x, y)),
+                      0.25f * range);
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace memo

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for MEMO-TABLE index hashing (arith/hash).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arith/fp.hh"
+#include "arith/hash.hh"
+
+namespace memo
+{
+namespace
+{
+
+TEST(Hash, IntXorLowBits)
+{
+    EXPECT_EQ(indexInt(0b1010, 0b0110, 3), 0b100u);
+    EXPECT_EQ(indexInt(0xff, 0xff, 8), 0u);
+    EXPECT_EQ(indexInt(0x12345678, 0, 4), 0x8u);
+}
+
+TEST(Hash, IntZeroBits)
+{
+    EXPECT_EQ(indexInt(123, 456, 0), 0u);
+}
+
+TEST(Hash, IntIsSymmetric)
+{
+    for (uint64_t a = 0; a < 64; a += 7)
+        for (uint64_t b = 0; b < 64; b += 5)
+            EXPECT_EQ(indexInt(a, b, 5), indexInt(b, a, 5));
+}
+
+TEST(Hash, FpUsesTopMantissaBits)
+{
+    // 1.5 has mantissa 100...0; 1.0 has mantissa 0. Top 3 bits differ.
+    uint64_t a = fpBits(1.5);
+    uint64_t b = fpBits(1.0);
+    EXPECT_EQ(indexFp(a, b, 3), 0b100u);
+    // Exponent and sign must not affect the index.
+    EXPECT_EQ(indexFp(fpBits(3.0), fpBits(-2.0), 3), 0b100u);
+}
+
+TEST(Hash, FpSquareDegeneracy)
+{
+    // The paper's XOR hash maps every x*x access to set 0.
+    for (double x : {1.25, 3.7, 255.0, 0.001})
+        EXPECT_EQ(indexFp(fpBits(x), fpBits(x), 5), 0u);
+}
+
+TEST(Hash, FpSumAvoidsSquareDegeneracy)
+{
+    // The additive hash spreads squares across sets.
+    bool any_nonzero = false;
+    for (double x : {1.25, 3.7, 1.9, 1.111})
+        any_nonzero |= indexFpSum(fpBits(x), fpBits(x), 5) != 0;
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Hash, FpSumIsSymmetric)
+{
+    for (double a : {1.5, 2.25, 100.0, 0.3})
+        for (double b : {9.75, 0.125, 7.0}) {
+            EXPECT_EQ(indexFpSum(fpBits(a), fpBits(b), 4),
+                      indexFpSum(fpBits(b), fpBits(a), 4));
+        }
+}
+
+TEST(Hash, FpSumStaysInRange)
+{
+    for (double a : {1.999999, 1.999, 255.75})
+        for (double b : {1.999999, 3.999}) {
+            EXPECT_LT(indexFpSum(fpBits(a), fpBits(b), 3), 8u);
+        }
+}
+
+TEST(Hash, UnaryUsesOwnMantissa)
+{
+    EXPECT_EQ(indexFpUnary(fpBits(1.5), 3), 0b100u);
+    EXPECT_EQ(indexFpUnary(fpBits(1.0), 3), 0u);
+}
+
+TEST(Hash, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(8), 3u);
+    EXPECT_EQ(log2Exact(uint64_t{1} << 40), 40u);
+}
+
+TEST(Hash, WideIndexUsesWholeFraction)
+{
+    // More index bits than mantissa bits must not shift out of range.
+    uint64_t idx = indexFp(fpBits(1.5), fpBits(1.0), 60);
+    EXPECT_EQ(idx, fpFraction(1.5));
+}
+
+} // anonymous namespace
+} // namespace memo

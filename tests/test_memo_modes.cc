@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the MEMO-TABLE design variants: trivial-operation policy
+ * (Table 9), mantissa-only tags (Table 10), and the fp index hash
+ * schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/fp.hh"
+#include "core/memo_table.hh"
+
+namespace memo
+{
+namespace
+{
+
+TEST(TrivialPolicy, NonTrivialOnlyBypasses)
+{
+    MemoConfig cfg; // default NonTrivialOnly
+    MemoTable t(Operation::FpMul, cfg);
+
+    EXPECT_FALSE(t.lookup(fpBits(1.0), fpBits(5.0)).has_value());
+    t.update(fpBits(1.0), fpBits(5.0), fpBits(5.0));
+    // The trivial op was never counted nor stored.
+    EXPECT_EQ(t.stats().lookups, 0u);
+    EXPECT_EQ(t.stats().trivialBypassed, 1u);
+    EXPECT_EQ(t.validEntries(), 0u);
+}
+
+TEST(TrivialPolicy, CacheAllStoresTrivial)
+{
+    MemoConfig cfg;
+    cfg.trivialMode = TrivialMode::CacheAll;
+    MemoTable t(Operation::FpMul, cfg);
+
+    EXPECT_FALSE(t.lookup(fpBits(1.0), fpBits(5.0)).has_value());
+    t.update(fpBits(1.0), fpBits(5.0), fpBits(5.0));
+    auto hit = t.lookup(fpBits(1.0), fpBits(5.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, fpBits(5.0));
+    EXPECT_EQ(t.stats().trivialBypassed, 0u);
+}
+
+TEST(TrivialPolicy, IntegratedCountsTrivialAsHit)
+{
+    MemoConfig cfg;
+    cfg.trivialMode = TrivialMode::Integrated;
+    MemoTable t(Operation::FpMul, cfg);
+
+    auto hit = t.lookup(fpBits(0.0), fpBits(5.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, fpBits(0.0));
+    EXPECT_EQ(t.stats().trivialHits, 1u);
+    EXPECT_EQ(t.stats().lookups, 1u);
+    EXPECT_DOUBLE_EQ(t.stats().hitRatio(), 1.0);
+    // Trivial results are forwarded, never stored.
+    EXPECT_EQ(t.validEntries(), 0u);
+}
+
+TEST(TrivialPolicy, IntegratedDivByOne)
+{
+    MemoConfig cfg;
+    cfg.trivialMode = TrivialMode::Integrated;
+    MemoTable t(Operation::FpDiv, cfg);
+
+    auto hit = t.lookup(fpBits(9.5), fpBits(1.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 9.5);
+}
+
+TEST(TrivialFraction, CountsBothModes)
+{
+    MemoConfig cfg;
+    MemoTable t(Operation::FpMul, cfg);
+    t.lookup(fpBits(1.0), fpBits(5.0)); // trivial
+    t.lookup(fpBits(2.0), fpBits(5.0)); // non-trivial
+    EXPECT_DOUBLE_EQ(t.stats().trivialFraction(), 0.5);
+}
+
+TEST(MantissaMode, HitsAcrossExponents)
+{
+    // Table 10: tags are mantissas only, so 1.5*3.0 and 3.0*6.0 (same
+    // mantissas, shifted exponents) share one entry.
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpMul, cfg);
+
+    t.update(fpBits(1.5), fpBits(3.0), fpBits(4.5));
+    auto hit = t.lookup(fpBits(3.0), fpBits(6.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 18.0);
+
+    hit = t.lookup(fpBits(0.75), fpBits(1.5));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 1.125);
+}
+
+TEST(MantissaMode, DivisionReconstruction)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpDiv, cfg);
+
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    auto hit = t.lookup(fpBits(5.0), fpBits(2.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 2.5);
+
+    hit = t.lookup(fpBits(40.0), fpBits(8.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 5.0);
+}
+
+TEST(MantissaMode, SignReconstruction)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpMul, cfg);
+
+    t.update(fpBits(1.5), fpBits(3.0), fpBits(4.5));
+    auto hit = t.lookup(fpBits(-1.5), fpBits(3.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), -4.5);
+
+    hit = t.lookup(fpBits(-1.5), fpBits(-3.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 4.5);
+}
+
+TEST(MantissaMode, ExactnessProperty)
+{
+    // For any sequence of normal operand pairs: a mantissa-mode hit
+    // must return exactly the native product/quotient.
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    cfg.infinite = true;
+    MemoTable mul(Operation::FpMul, cfg);
+    MemoTable div(Operation::FpDiv, cfg);
+
+    uint64_t z = 12345;
+    auto next = [&z] {
+        z += 0x9e3779b97f4a7c15ULL;
+        uint64_t v = z ^ (z >> 31);
+        // Confine exponents so results stay normal.
+        double d = 1.0 + std::ldexp(static_cast<double>(v & 0xffff),
+                                    -16);
+        return std::ldexp(d, static_cast<int>(v % 40) - 20);
+    };
+
+    for (int i = 0; i < 5000; i++) {
+        double a = next(), b = next();
+        if (auto hit = mul.lookup(fpBits(a), fpBits(b)))
+            EXPECT_EQ(fpFromBits(*hit), a * b);
+        else
+            mul.update(fpBits(a), fpBits(b), fpBits(a * b));
+        if (auto hit = div.lookup(fpBits(a), fpBits(b)))
+            EXPECT_EQ(fpFromBits(*hit), a / b);
+        else
+            div.update(fpBits(a), fpBits(b), fpBits(a / b));
+    }
+    EXPECT_GT(mul.stats().hits, 0u);
+    EXPECT_GT(div.stats().hits, 0u);
+}
+
+TEST(MantissaMode, NonNormalOperandsBypass)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpMul, cfg);
+
+    t.update(fpBits(1.25), fpBits(3.0), fpBits(3.75));
+    // Subnormals have no mantissa identity: they must bypass rather
+    // than alias an entry with equal fraction bits.
+    double sub = 1e-310;
+    EXPECT_FALSE(t.lookup(fpBits(sub), fpBits(3.0)).has_value());
+    t.update(fpBits(sub), fpBits(3.0), fpBits(sub * 3.0));
+    // Nothing was inserted for the subnormal pair.
+    EXPECT_EQ(t.validEntries(), 1u);
+    auto hit = t.lookup(fpBits(1.25), fpBits(3.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 3.75);
+}
+
+TEST(MantissaMode, ExponentOverflowMisses)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpMul, cfg);
+
+    t.update(fpBits(1.5), fpBits(3.0), fpBits(4.5));
+    // Same mantissas at huge exponents: the reconstructed exponent
+    // would overflow, so the access must miss rather than return junk.
+    double big = std::ldexp(1.5, 1000);
+    double big2 = std::ldexp(1.5, 100); // 1.5*2^100 vs 3.0 ~ 2^1
+    EXPECT_FALSE(t.lookup(fpBits(big), fpBits(big)).has_value());
+    EXPECT_TRUE(t.lookup(fpBits(big2), fpBits(3.0)).has_value());
+}
+
+TEST(MantissaMode, SqrtHitsAcrossEvenExponentShifts)
+{
+    // sqrt result mantissa depends on the operand mantissa and the
+    // exponent's parity: 4 and 16 (even exponents, fraction 0) share
+    // one entry; 2 (odd exponent) does not.
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpSqrt, cfg);
+
+    t.update(fpBits(4.0), 0, fpBits(2.0));
+    auto hit = t.lookup(fpBits(16.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 4.0);
+
+    hit = t.lookup(fpBits(0.25)); // 1.0 * 2^-2: even parity
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), 0.5);
+
+    EXPECT_FALSE(t.lookup(fpBits(2.0)).has_value());
+    t.update(fpBits(2.0), 0, fpBits(std::sqrt(2.0)));
+    hit = t.lookup(fpBits(8.0)); // 1.0 * 2^3: odd parity
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fpFromBits(*hit), std::sqrt(2.0) * 2.0);
+}
+
+TEST(MantissaMode, SqrtExactnessProperty)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    cfg.infinite = true;
+    MemoTable t(Operation::FpSqrt, cfg);
+
+    uint64_t z = 4242;
+    unsigned hits = 0;
+    for (int i = 0; i < 4000; i++) {
+        z += 0x9e3779b97f4a7c15ULL;
+        uint64_t v = z ^ (z >> 31);
+        double m = 1.0 + static_cast<double>(v % 64) / 64.0;
+        double a = std::ldexp(m, static_cast<int>((v >> 8) % 41) - 20);
+        double native = std::sqrt(a);
+        if (auto hit = t.lookup(fpBits(a))) {
+            EXPECT_EQ(fpFromBits(*hit), native) << a;
+            hits++;
+        } else {
+            t.update(fpBits(a), 0, fpBits(native));
+        }
+    }
+    EXPECT_GT(hits, 1000u);
+}
+
+TEST(MantissaMode, SqrtNegativeOperandsBypass)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpSqrt, cfg);
+    t.update(fpBits(4.0), 0, fpBits(2.0));
+    // -4.0 has the same fraction and parity; it must not hit.
+    EXPECT_FALSE(t.lookup(fpBits(-4.0)).has_value());
+}
+
+TEST(MantissaMode, IgnoredForIntegerUnit)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::IntMul, cfg);
+    t.update(100, 3, 300);
+    // Full-value semantics: 200*3 must not alias 100*3.
+    EXPECT_FALSE(t.lookup(200, 3).has_value());
+    EXPECT_TRUE(t.lookup(100, 3).has_value());
+}
+
+TEST(HashScheme, PaperXorCollapsesSquares)
+{
+    // With the literal XOR hash all x*x accesses fight over set 0.
+    MemoConfig paper;
+    paper.hashScheme = HashScheme::PaperXor;
+    MemoConfig sum;
+    sum.hashScheme = HashScheme::Additive;
+
+    auto run = [](MemoConfig cfg) {
+        MemoTable t(Operation::FpMul, cfg);
+        // 16 distinct squares, repeated: fits 32 entries only if the
+        // index spreads them.
+        for (int round = 0; round < 4; round++) {
+            for (int i = 0; i < 16; i++) {
+                double x = 1.0 + i * 0.0625;
+                if (!t.lookup(fpBits(x), fpBits(x)))
+                    t.update(fpBits(x), fpBits(x), fpBits(x * x));
+            }
+        }
+        return t.stats().hitRatio();
+    };
+
+    double paper_hr = run(paper);
+    double sum_hr = run(sum);
+    EXPECT_LT(paper_hr, 0.3);
+    EXPECT_GT(sum_hr, 0.7);
+}
+
+} // anonymous namespace
+} // namespace memo

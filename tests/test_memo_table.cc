@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the MEMO-TABLE core behaviour: lookup/update, set
+ * geometry, replacement, commutativity, and the infinite mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/fp.hh"
+#include "core/memo_table.hh"
+
+namespace memo
+{
+namespace
+{
+
+MemoConfig
+cfg32()
+{
+    return MemoConfig{}; // 32 entries, 4-way, the paper's default
+}
+
+TEST(MemoTable, MissThenHit)
+{
+    MemoTable t(Operation::FpDiv, cfg32());
+    uint64_t a = fpBits(10.0), b = fpBits(4.0), r = fpBits(2.5);
+
+    EXPECT_FALSE(t.lookup(a, b).has_value());
+    t.update(a, b, r);
+    auto hit = t.lookup(a, b);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, r);
+
+    EXPECT_EQ(t.stats().lookups, 2u);
+    EXPECT_EQ(t.stats().hits, 1u);
+    EXPECT_EQ(t.stats().misses, 1u);
+    EXPECT_EQ(t.stats().insertions, 1u);
+}
+
+TEST(MemoTable, DifferentOperandsMiss)
+{
+    MemoTable t(Operation::FpDiv, cfg32());
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    EXPECT_FALSE(t.lookup(fpBits(10.0), fpBits(5.0)).has_value());
+    EXPECT_FALSE(t.lookup(fpBits(11.0), fpBits(4.0)).has_value());
+}
+
+TEST(MemoTable, DivisionIsNotCommutative)
+{
+    MemoTable t(Operation::FpDiv, cfg32());
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    EXPECT_FALSE(t.lookup(fpBits(4.0), fpBits(10.0)).has_value());
+}
+
+TEST(MemoTable, MultiplicationIsCommutative)
+{
+    // Section 2.2: commutative units compare both operand orders.
+    MemoTable t(Operation::FpMul, cfg32());
+    t.update(fpBits(3.0), fpBits(7.0), fpBits(21.0));
+    auto hit = t.lookup(fpBits(7.0), fpBits(3.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, fpBits(21.0));
+}
+
+TEST(MemoTable, IntMulCommutative)
+{
+    MemoTable t(Operation::IntMul, cfg32());
+    t.update(6, 7, 42);
+    auto hit = t.lookup(7, 6);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 42u);
+}
+
+TEST(MemoTable, UnaryOperationIgnoresSecondOperand)
+{
+    MemoConfig cfg = cfg32();
+    MemoTable t(Operation::FpSqrt, cfg);
+    t.update(fpBits(9.0), 0, fpBits(3.0));
+    auto hit = t.lookup(fpBits(9.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, fpBits(3.0));
+}
+
+TEST(MemoTable, LruEvictionWithinSet)
+{
+    // Direct the accesses at one set by using a 4-entry fully
+    // associative table (1 set of 4 ways).
+    MemoConfig cfg;
+    cfg.entries = 4;
+    cfg.ways = 4;
+    MemoTable t(Operation::FpDiv, cfg);
+
+    double vals[5] = {3.0, 5.0, 7.0, 11.0, 13.0};
+    for (double v : vals) {
+        t.lookup(fpBits(v), fpBits(1.5));
+        t.update(fpBits(v), fpBits(1.5), fpBits(v / 1.5));
+    }
+    // 3.0 was least recently used and must have been evicted.
+    EXPECT_FALSE(t.lookup(fpBits(3.0), fpBits(1.5)).has_value());
+    EXPECT_TRUE(t.lookup(fpBits(13.0), fpBits(1.5)).has_value());
+    EXPECT_EQ(t.stats().evictions, 1u);
+}
+
+TEST(MemoTable, LruRefreshOnHit)
+{
+    MemoConfig cfg;
+    cfg.entries = 2;
+    cfg.ways = 2;
+    MemoTable t(Operation::FpDiv, cfg);
+
+    t.update(fpBits(3.0), fpBits(1.5), fpBits(2.0));
+    t.update(fpBits(5.0), fpBits(1.5), fpBits(5.0 / 1.5));
+    // Touch 3.0 so 5.0 becomes the LRU victim.
+    EXPECT_TRUE(t.lookup(fpBits(3.0), fpBits(1.5)).has_value());
+    t.update(fpBits(7.0), fpBits(1.5), fpBits(7.0 / 1.5));
+
+    EXPECT_TRUE(t.lookup(fpBits(3.0), fpBits(1.5)).has_value());
+    EXPECT_FALSE(t.lookup(fpBits(5.0), fpBits(1.5)).has_value());
+}
+
+TEST(MemoTable, FifoIgnoresHitRecency)
+{
+    MemoConfig cfg;
+    cfg.entries = 2;
+    cfg.ways = 2;
+    cfg.replacement = Replacement::Fifo;
+    MemoTable t(Operation::FpDiv, cfg);
+
+    t.update(fpBits(3.0), fpBits(1.5), fpBits(2.0));
+    t.update(fpBits(5.0), fpBits(1.5), fpBits(5.0 / 1.5));
+    // A hit on 3.0 must NOT save it: it is still the oldest.
+    EXPECT_TRUE(t.lookup(fpBits(3.0), fpBits(1.5)).has_value());
+    t.update(fpBits(7.0), fpBits(1.5), fpBits(7.0 / 1.5));
+
+    EXPECT_FALSE(t.lookup(fpBits(3.0), fpBits(1.5)).has_value());
+    EXPECT_TRUE(t.lookup(fpBits(5.0), fpBits(1.5)).has_value());
+}
+
+TEST(MemoTable, InfiniteTableNeverEvicts)
+{
+    MemoConfig cfg;
+    cfg.infinite = true;
+    MemoTable t(Operation::FpMul, cfg);
+
+    for (int i = 2; i < 2000; i++) {
+        double a = i * 1.25;
+        t.update(fpBits(a), fpBits(3.0), fpBits(a * 3.0));
+    }
+    for (int i = 2; i < 2000; i++) {
+        double a = i * 1.25;
+        auto hit = t.lookup(fpBits(a), fpBits(3.0));
+        ASSERT_TRUE(hit.has_value()) << i;
+        EXPECT_EQ(*hit, fpBits(a * 3.0));
+    }
+    EXPECT_EQ(t.stats().evictions, 0u);
+    EXPECT_EQ(t.validEntries(), 1998u);
+}
+
+TEST(MemoTable, InfiniteCommutative)
+{
+    MemoConfig cfg;
+    cfg.infinite = true;
+    MemoTable t(Operation::IntMul, cfg);
+    t.update(6, 7, 42);
+    EXPECT_TRUE(t.lookup(7, 6).has_value());
+    // Same pair in either order occupies a single entry.
+    t.update(7, 6, 42);
+    EXPECT_EQ(t.validEntries(), 1u);
+}
+
+TEST(MemoTable, UpdateExistingEntryRewrites)
+{
+    MemoTable t(Operation::FpDiv, cfg32());
+    uint64_t a = fpBits(10.0), b = fpBits(4.0);
+    t.update(a, b, fpBits(2.5));
+    t.update(a, b, fpBits(2.5));
+    EXPECT_EQ(t.stats().insertions, 1u);
+    EXPECT_EQ(t.validEntries(), 1u);
+}
+
+TEST(MemoTable, FlushKeepsStats)
+{
+    MemoTable t(Operation::FpDiv, cfg32());
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    t.lookup(fpBits(10.0), fpBits(4.0));
+    t.flush();
+    EXPECT_EQ(t.validEntries(), 0u);
+    EXPECT_EQ(t.stats().hits, 1u);
+    EXPECT_FALSE(t.lookup(fpBits(10.0), fpBits(4.0)).has_value());
+}
+
+TEST(MemoTable, ResetClearsEverything)
+{
+    MemoTable t(Operation::FpDiv, cfg32());
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    t.lookup(fpBits(10.0), fpBits(4.0));
+    t.reset();
+    EXPECT_EQ(t.validEntries(), 0u);
+    EXPECT_EQ(t.stats().lookups, 0u);
+}
+
+TEST(MemoTable, AccessHelper)
+{
+    MemoTable t(Operation::FpMul, cfg32());
+    bool hit = true;
+    uint64_t r = t.access(fpBits(3.0), fpBits(5.0),
+                          [] { return fpBits(15.0); }, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(r, fpBits(15.0));
+
+    int computed = 0;
+    r = t.access(fpBits(3.0), fpBits(5.0), [&] {
+        computed++;
+        return fpBits(15.0);
+    }, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(computed, 0);
+    EXPECT_EQ(r, fpBits(15.0));
+}
+
+TEST(MemoTable, StatsConsistency)
+{
+    MemoTable t(Operation::FpMul, cfg32());
+    for (int i = 2; i < 300; i++) {
+        double a = 1.0 + (i % 17) * 0.25;
+        double b = 1.0 + (i % 5) * 0.5;
+        if (!t.lookup(fpBits(a), fpBits(b)))
+            t.update(fpBits(a), fpBits(b), fpBits(a * b));
+    }
+    const MemoStats &s = t.stats();
+    EXPECT_EQ(s.lookups, s.hits + s.misses);
+    EXPECT_LE(t.validEntries(), 32u);
+    EXPECT_LE(s.evictions, s.insertions);
+}
+
+/** Geometry sweep: (entries, ways) grid must behave sanely. */
+class MemoGeometry
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(MemoGeometry, InsertedPairsHitUntilCapacity)
+{
+    auto [entries, ways] = GetParam();
+    if (ways > entries)
+        GTEST_SKIP();
+    MemoConfig cfg;
+    cfg.entries = entries;
+    cfg.ways = ways;
+    MemoTable t(Operation::FpDiv, cfg);
+
+    // Up to `ways` distinct pairs that map to one set always coexist.
+    // Use pairs with identical mantissas (same index) and different
+    // exponents (different tags).
+    for (unsigned i = 0; i < ways; i++) {
+        double a = std::ldexp(1.5, static_cast<int>(i));
+        t.update(fpBits(a), fpBits(1.5), fpBits(a / 1.5));
+    }
+    for (unsigned i = 0; i < ways; i++) {
+        double a = std::ldexp(1.5, static_cast<int>(i));
+        EXPECT_TRUE(t.lookup(fpBits(a), fpBits(1.5)).has_value()) << i;
+    }
+    EXPECT_EQ(t.validEntries(), ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MemoGeometry,
+    ::testing::Combine(::testing::Values(8u, 32u, 128u, 1024u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+} // anonymous namespace
+} // namespace memo

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the latency presets, the serial CPU cycle model, the
+ * overlapped pipeline model and the Amdahl decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/fp.hh"
+#include "sim/amdahl.hh"
+#include "sim/cpu.hh"
+#include "sim/pipeline.hh"
+#include "trace/recorder.hh"
+
+namespace memo
+{
+namespace
+{
+
+TEST(Latency, Table1Presets)
+{
+    auto check = [](CpuPreset p, unsigned mul, unsigned div) {
+        LatencyConfig cfg = LatencyConfig::preset(p);
+        EXPECT_EQ(cfg[InstClass::FpMul], mul) << presetName(p);
+        EXPECT_EQ(cfg[InstClass::FpDiv], div) << presetName(p);
+    };
+    check(CpuPreset::PentiumPro, 3, 39);
+    check(CpuPreset::Alpha21164, 4, 31);
+    check(CpuPreset::MipsR10000, 2, 40);
+    check(CpuPreset::Ppc604e, 5, 31);
+    check(CpuPreset::UltraSparcII, 3, 22);
+    check(CpuPreset::Pa8000, 5, 31);
+    check(CpuPreset::FastFpu, 3, 13);
+    check(CpuPreset::SlowFpu, 5, 39);
+}
+
+TEST(Latency, CustomKeepsBaseMachine)
+{
+    LatencyConfig cfg = LatencyConfig::custom(7, 50);
+    EXPECT_EQ(cfg[InstClass::FpMul], 7u);
+    EXPECT_EQ(cfg[InstClass::FpDiv], 50u);
+    EXPECT_EQ(cfg[InstClass::IntAlu], 1u);
+    EXPECT_EQ(cfg[InstClass::Branch], 1u);
+}
+
+/** A small deterministic trace with reuse in the divisions. */
+Trace
+makeDivTrace(int repeats)
+{
+    Trace trace;
+    Recorder rec(trace);
+    for (int r = 0; r < repeats; r++) {
+        for (double b : {3.0, 5.0, 7.0}) {
+            rec.div(10.0, b);
+            rec.alu(2);
+        }
+    }
+    return trace;
+}
+
+TEST(CpuModel, BaselineCycleAccounting)
+{
+    Trace trace = makeDivTrace(1); // 3 divs + 6 alus
+    CpuModel cpu;
+    SimResult res = cpu.run(trace);
+    // FastFpu: div=13, alu=1.
+    EXPECT_EQ(res.totalCycles, 3u * 13u + 6u);
+    EXPECT_EQ(res.cyclesOf(InstClass::FpDiv), 39u);
+    EXPECT_EQ(res.countOf(InstClass::FpDiv), 3u);
+    EXPECT_DOUBLE_EQ(res.cycleFraction(InstClass::FpDiv),
+                     39.0 / 45.0);
+}
+
+TEST(CpuModel, MemoHitsCostOneCycle)
+{
+    Trace trace = makeDivTrace(10); // 30 divs: 3 distinct pairs
+    CpuModel cpu;
+    MemoBank bank = MemoBank::standard(MemoConfig{});
+    SimResult res = cpu.run(trace, &bank);
+
+    // 3 cold misses at 13 cycles, 27 hits at 1 cycle.
+    EXPECT_EQ(res.cyclesOf(InstClass::FpDiv), 3u * 13u + 27u * 1u);
+    EXPECT_EQ(res.memo.at(Operation::FpDiv).hits, 27u);
+    EXPECT_EQ(res.memo.at(Operation::FpDiv).misses, 3u);
+}
+
+TEST(CpuModel, MemoNeverSlower)
+{
+    Trace trace = makeDivTrace(5);
+    CpuModel cpu;
+    SimResult base = cpu.run(trace);
+    MemoBank bank = MemoBank::standard(MemoConfig{});
+    SimResult memo = cpu.run(trace, &bank);
+    EXPECT_LE(memo.totalCycles, base.totalCycles);
+}
+
+TEST(CpuModel, LoadsChargeHierarchy)
+{
+    Trace trace;
+    Recorder rec(trace);
+    double x = 1.0;
+    rec.load(x); // cold: memory latency
+    rec.load(x); // hot: L1
+    CpuModel cpu;
+    SimResult res = cpu.run(trace);
+    EXPECT_EQ(res.cyclesOf(InstClass::Load), 30u + 1u);
+    EXPECT_EQ(res.l1.accesses, 2u);
+    EXPECT_EQ(res.l1.hits, 1u);
+}
+
+TEST(CpuModel, TrivialOpsNotMemoized)
+{
+    Trace trace;
+    Recorder rec(trace);
+    rec.mul(1.0, 5.0);
+    rec.mul(1.0, 5.0);
+    CpuModel cpu;
+    MemoBank bank = MemoBank::standard(MemoConfig{});
+    SimResult res = cpu.run(trace, &bank);
+    // Both multiplications paid full latency; the table saw nothing.
+    EXPECT_EQ(res.cyclesOf(InstClass::FpMul), 6u);
+    EXPECT_EQ(res.memo.at(Operation::FpMul).lookups, 0u);
+    EXPECT_EQ(res.memo.at(Operation::FpMul).trivialBypassed, 2u);
+}
+
+TEST(CpuModel, AnnulledDelaySlots)
+{
+    Trace trace;
+    Recorder rec(trace);
+    for (int i = 0; i < 100; i++)
+        rec.branch();
+
+    CpuConfig cfg;
+    cfg.annulPerMille = 100; // 10% of branches annul a slot
+    CpuModel cpu(cfg);
+    SimResult res = cpu.run(trace);
+    EXPECT_EQ(res.annulCycles, 10u);
+    EXPECT_EQ(res.totalCycles, 100u + 10u);
+
+    cfg.annulPerMille = 0;
+    CpuModel no_annul(cfg);
+    EXPECT_EQ(no_annul.run(trace).totalCycles, 100u);
+}
+
+TEST(Pipeline, DividerStructuralHazard)
+{
+    Trace trace;
+    Recorder rec(trace);
+    rec.div(10.0, 3.0);
+    rec.div(20.0, 7.0); // must wait for the unpipelined divider
+    InOrderPipeline pipe;
+    PipelineResult res = pipe.run(trace);
+    EXPECT_GT(res.divStallCycles, 0u);
+}
+
+TEST(Pipeline, MemoHitFreesDivider)
+{
+    Trace trace;
+    Recorder rec(trace);
+    for (int i = 0; i < 10; i++)
+        rec.div(10.0, 3.0);
+    InOrderPipeline pipe;
+    PipelineResult base = pipe.run(trace);
+    MemoBank bank = MemoBank::standard(MemoConfig{});
+    PipelineResult memo = pipe.run(trace, &bank);
+    EXPECT_LT(memo.totalCycles, base.totalCycles);
+    EXPECT_LT(memo.divStallCycles, base.divStallCycles);
+}
+
+TEST(Pipeline, PipelinedMultipliesOverlap)
+{
+    Trace trace;
+    Recorder rec(trace);
+    for (int i = 2; i < 50; i++)
+        rec.mul(1.0 + i, 3.0);
+    InOrderPipeline pipe;
+    PipelineResult res = pipe.run(trace);
+    // 48 multiplies, II=1: ~48 issue cycles + drain, far below 48*3.
+    EXPECT_LT(res.totalCycles, 48u * 3u);
+    EXPECT_GE(res.totalCycles, 48u);
+}
+
+TEST(Pipeline, SerialMultiplierStalls)
+{
+    Trace trace;
+    Recorder rec(trace);
+    for (int i = 2; i < 50; i++)
+        rec.mul(1.0 + i, 3.0);
+
+    PipelineConfig pipelined;
+    PipelineConfig serial;
+    serial.mulPipelined = false;
+    uint64_t fast = InOrderPipeline(pipelined).run(trace).totalCycles;
+    uint64_t slow = InOrderPipeline(serial).run(trace).totalCycles;
+    // A serial multiplier serializes the stream at full latency.
+    EXPECT_GT(slow, fast);
+    EXPECT_GE(slow, 48u * 3u);
+}
+
+TEST(Amdahl, SpeedupEnhancedFormula)
+{
+    // hr=0: no enhancement. hr=1: full dc x speedup.
+    EXPECT_DOUBLE_EQ(speedupEnhanced(13, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(speedupEnhanced(13, 1.0), 13.0);
+    // Paper Table 11, venhance: hr=.12, dc=13 -> SE=1.12.
+    EXPECT_NEAR(speedupEnhanced(13, 0.12), 1.12, 0.005);
+    // vsqrt: hr=.54, dc=13 -> SE=1.99.
+    EXPECT_NEAR(speedupEnhanced(13, 0.54), 1.99, 0.01);
+    // vspatial: hr=.94, dc=39 -> SE=11.89.
+    EXPECT_NEAR(speedupEnhanced(39, 0.94), 11.89, 0.05);
+}
+
+TEST(Amdahl, OverallSpeedup)
+{
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(0.0, 5.0), 1.0);
+    // Paper Table 11, vgauss @39: FE=.346, SE=4.34 -> 1.36.
+    EXPECT_NEAR(amdahlSpeedup(0.346, 4.34), 1.36, 0.005);
+    // vspatial @39: FE=.252, SE=11.89 -> 1.30.
+    EXPECT_NEAR(amdahlSpeedup(0.252, 11.89), 1.30, 0.005);
+}
+
+TEST(Amdahl, MultiUnitComposition)
+{
+    // Single unit must reduce to the scalar formula.
+    EXPECT_DOUBLE_EQ(amdahlSpeedupMulti({{0.2, 2.0}}),
+                     amdahlSpeedup(0.2, 2.0));
+    // Paper Table 13, vgauss (5,39): FE=.518, SE=3.45 -> 1.58.
+    EXPECT_NEAR(amdahlSpeedup(0.518, 3.45), 1.58, 0.005);
+    // combinedSe must reproduce the overall multi-unit speedup.
+    std::vector<EnhancedUnit> units = {{0.3, 2.0}, {0.1, 5.0}};
+    double se = combinedSe(units);
+    EXPECT_NEAR(amdahlSpeedup(0.4, se), amdahlSpeedupMulti(units),
+                1e-12);
+}
+
+TEST(Amdahl, MoreHitsNeverHurt)
+{
+    for (double hr = 0.0; hr <= 1.0; hr += 0.1) {
+        EXPECT_GE(speedupEnhanced(13, hr + 1e-9),
+                  speedupEnhanced(13, hr));
+    }
+}
+
+} // anonymous namespace
+} // namespace memo

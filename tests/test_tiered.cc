@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the tiered MEMO-TABLE (core/tiered_table).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arith/fp.hh"
+#include "core/tiered_table.hh"
+
+namespace memo
+{
+namespace
+{
+
+MemoConfig
+smallCfg()
+{
+    MemoConfig cfg;
+    cfg.entries = 4;
+    cfg.ways = 4;
+    return cfg;
+}
+
+MemoConfig
+bigCfg()
+{
+    MemoConfig cfg;
+    cfg.entries = 256;
+    cfg.ways = 4;
+    return cfg;
+}
+
+TEST(TieredTable, L1HitAfterInsert)
+{
+    TieredMemoTable t(Operation::FpDiv, smallCfg(), bigCfg());
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    auto hit = t.lookup(fpBits(10.0), fpBits(4.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->level, 1u);
+    EXPECT_EQ(fpFromBits(hit->resultBits), 2.5);
+}
+
+TEST(TieredTable, L2CatchesL1Evictions)
+{
+    TieredMemoTable t(Operation::FpDiv, smallCfg(), bigCfg());
+    // Insert more pairs than L1 holds.
+    for (int i = 0; i < 16; i++) {
+        double a = 10.0 + i;
+        t.update(fpBits(a), fpBits(4.0), fpBits(a / 4.0));
+    }
+    // The earliest pair fell out of the 4-entry L1 but lives in L2.
+    auto hit = t.lookup(fpBits(10.0), fpBits(4.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->level, 2u);
+    EXPECT_EQ(fpFromBits(hit->resultBits), 2.5);
+}
+
+TEST(TieredTable, PromotionMovesPairToL1)
+{
+    TieredMemoTable t(Operation::FpDiv, smallCfg(), bigCfg());
+    for (int i = 0; i < 16; i++) {
+        double a = 10.0 + i;
+        t.update(fpBits(a), fpBits(4.0), fpBits(a / 4.0));
+    }
+    ASSERT_EQ(t.lookup(fpBits(10.0), fpBits(4.0))->level, 2u);
+    EXPECT_EQ(t.promotions(), 1u);
+    // The follow-up access is an L1 hit.
+    auto hit = t.lookup(fpBits(10.0), fpBits(4.0));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->level, 1u);
+}
+
+TEST(TieredTable, MissWhenAbsentEverywhere)
+{
+    TieredMemoTable t(Operation::FpDiv, smallCfg(), bigCfg());
+    EXPECT_FALSE(t.lookup(fpBits(1.5), fpBits(3.0)).has_value());
+}
+
+TEST(TieredTable, CombinedHitRatio)
+{
+    TieredMemoTable t(Operation::FpDiv, smallCfg(), bigCfg());
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    t.lookup(fpBits(10.0), fpBits(4.0)); // L1 hit
+    t.lookup(fpBits(11.0), fpBits(4.0)); // miss
+    EXPECT_DOUBLE_EQ(t.hitRatio(), 0.5);
+}
+
+TEST(TieredTable, CombinedBeatsL1Alone)
+{
+    // Cycle over 64 pairs: L1 (4 entries) thrashes, L2 (256) holds
+    // the whole set.
+    TieredMemoTable t(Operation::FpDiv, smallCfg(), bigCfg());
+    MemoTable alone(Operation::FpDiv, smallCfg());
+    for (int round = 0; round < 5; round++) {
+        for (int i = 0; i < 64; i++) {
+            double a = 10.0 + i;
+            if (!t.lookup(fpBits(a), fpBits(4.0)))
+                t.update(fpBits(a), fpBits(4.0), fpBits(a / 4.0));
+            if (!alone.lookup(fpBits(a), fpBits(4.0)))
+                alone.update(fpBits(a), fpBits(4.0), fpBits(a / 4.0));
+        }
+    }
+    EXPECT_GT(t.hitRatio(), alone.stats().hitRatio() + 0.3);
+}
+
+TEST(TieredTable, ResetClearsBothLevels)
+{
+    TieredMemoTable t(Operation::FpDiv, smallCfg(), bigCfg());
+    t.update(fpBits(10.0), fpBits(4.0), fpBits(2.5));
+    t.lookup(fpBits(10.0), fpBits(4.0));
+    t.reset();
+    EXPECT_EQ(t.promotions(), 0u);
+    EXPECT_EQ(t.l1Stats().lookups, 0u);
+    EXPECT_FALSE(t.lookup(fpBits(10.0), fpBits(4.0)).has_value());
+}
+
+} // anonymous namespace
+} // namespace memo

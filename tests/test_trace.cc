@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the trace container, the Recorder instrumentation facade
+ * and the Traced value wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/fp.hh"
+#include "trace/recorder.hh"
+#include "trace/traced.hh"
+
+namespace memo
+{
+namespace
+{
+
+TEST(Trace, OpMixCountsClasses)
+{
+    Trace trace;
+    Recorder rec(trace);
+    rec.mul(2.0, 3.0);
+    rec.mul(4.0, 5.0);
+    rec.div(6.0, 3.0);
+    rec.alu(3);
+    rec.branch();
+
+    OpMix mix = trace.mix();
+    EXPECT_EQ(mix[InstClass::FpMul], 2u);
+    EXPECT_EQ(mix[InstClass::FpDiv], 1u);
+    EXPECT_EQ(mix[InstClass::IntAlu], 3u);
+    EXPECT_EQ(mix[InstClass::Branch], 1u);
+    EXPECT_EQ(mix.total(), 7u);
+    EXPECT_DOUBLE_EQ(mix.fraction(InstClass::FpDiv), 1.0 / 7.0);
+}
+
+TEST(Recorder, OperationsComputeCorrectly)
+{
+    Trace trace;
+    Recorder rec(trace);
+    EXPECT_EQ(rec.mul(2.5, 4.0), 10.0);
+    EXPECT_EQ(rec.div(10.0, 4.0), 2.5);
+    EXPECT_EQ(rec.sqrt(9.0), 3.0);
+    EXPECT_EQ(rec.imul(6, 7), 42);
+    EXPECT_EQ(rec.fadd(1.0, 2.0), 3.0);
+    EXPECT_EQ(rec.fsub(1.0, 2.0), -1.0);
+    EXPECT_EQ(rec.exp(0.0), 1.0);
+    EXPECT_EQ(rec.log(1.0), 0.0);
+    EXPECT_EQ(rec.sin(0.0), 0.0);
+    EXPECT_EQ(rec.cos(0.0), 1.0);
+}
+
+TEST(Recorder, OperandsAndResultsRecorded)
+{
+    Trace trace;
+    Recorder rec(trace);
+    rec.div(10.0, 4.0);
+
+    ASSERT_EQ(trace.size(), 1u);
+    const Instruction &inst = trace.instructions()[0];
+    EXPECT_EQ(inst.cls, InstClass::FpDiv);
+    EXPECT_EQ(inst.a, fpBits(10.0));
+    EXPECT_EQ(inst.b, fpBits(4.0));
+    EXPECT_EQ(inst.result, fpBits(2.5));
+}
+
+TEST(Recorder, LoadStoreRecordAddresses)
+{
+    Trace trace;
+    Recorder rec(trace);
+    alignas(64) double data[16] = {};
+    data[3] = 7.5;
+
+    double v = rec.load(data[3]);
+    EXPECT_EQ(v, 7.5);
+    rec.store(data[4], 9.0);
+    EXPECT_EQ(data[4], 9.0);
+
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.instructions()[0].cls, InstClass::Load);
+    EXPECT_EQ(trace.instructions()[1].cls, InstClass::Store);
+    // Same cache line (adjacent doubles): remapped line must agree.
+    EXPECT_EQ(trace.instructions()[0].addr >> 6,
+              trace.instructions()[1].addr >> 6);
+}
+
+TEST(Recorder, AddressRemappingIsFirstTouchOrdered)
+{
+    // The first line touched maps to line 0, the second to line 1 ...
+    Trace trace;
+    Recorder rec(trace);
+    std::vector<double> data(64, 0.0); // several cache lines
+
+    rec.load(data[0]);  // line A
+    rec.load(data[32]); // line B (256 bytes away)
+    rec.load(data[0]);  // line A again
+
+    auto addr = [&](int i) { return trace.instructions()[i].addr >> 6; };
+    EXPECT_EQ(addr(0), 0u);
+    EXPECT_EQ(addr(1), static_cast<uint64_t>(
+        (reinterpret_cast<uintptr_t>(&data[32]) >> 6) !=
+        (reinterpret_cast<uintptr_t>(&data[0]) >> 6) ? 1u : 0u));
+    EXPECT_EQ(addr(2), addr(0));
+}
+
+TEST(Recorder, PcStablePerCallSite)
+{
+    Trace trace;
+    Recorder rec(trace);
+    for (int i = 0; i < 3; i++)
+        rec.mul(1.5 + i, 2.0); // one call site
+    rec.mul(9.0, 2.0);         // a different call site
+
+    uint32_t pc0 = trace.instructions()[0].pc;
+    EXPECT_EQ(trace.instructions()[1].pc, pc0);
+    EXPECT_EQ(trace.instructions()[2].pc, pc0);
+    EXPECT_NE(trace.instructions()[3].pc, pc0);
+}
+
+TEST(Recorder, DeterministicAcrossRuns)
+{
+    auto make = [] {
+        Trace trace;
+        Recorder rec(trace);
+        std::vector<double> buf(128, 1.0);
+        for (int i = 0; i < 100; i++) {
+            double v = rec.load(buf[(i * 7) % 128]);
+            rec.mul(v, 1.5);
+        }
+        return trace;
+    };
+    Trace t1 = make();
+    Trace t2 = make();
+    ASSERT_EQ(t1.size(), t2.size());
+    for (size_t i = 0; i < t1.size(); i++) {
+        EXPECT_EQ(t1.instructions()[i].addr, t2.instructions()[i].addr);
+        EXPECT_EQ(t1.instructions()[i].a, t2.instructions()[i].a);
+        EXPECT_EQ(t1.instructions()[i].pc, t2.instructions()[i].pc);
+    }
+}
+
+TEST(Traced, OperatorsRecord)
+{
+    Trace trace;
+    Recorder rec(trace);
+    TracedScope scope(rec);
+
+    Traced a = 3.0, b = 4.0;
+    Traced c = memo::sqrt(a * a + b * b);
+    EXPECT_EQ(c.value(), 5.0);
+
+    OpMix mix = trace.mix();
+    EXPECT_EQ(mix[InstClass::FpMul], 2u);
+    EXPECT_EQ(mix[InstClass::FpAdd], 1u);
+    EXPECT_EQ(mix[InstClass::FpSqrt], 1u);
+}
+
+TEST(Traced, DivisionAndCompound)
+{
+    Trace trace;
+    Recorder rec(trace);
+    TracedScope scope(rec);
+
+    Traced x = 10.0;
+    x /= Traced(4.0);
+    EXPECT_EQ(x.value(), 2.5);
+    x *= Traced(2.0);
+    EXPECT_EQ(x.value(), 5.0);
+    EXPECT_TRUE(x > Traced(4.9));
+    EXPECT_EQ(trace.mix()[InstClass::FpDiv], 1u);
+}
+
+TEST(Traced, ScopesNest)
+{
+    Trace outer_trace, inner_trace;
+    Recorder outer(outer_trace), inner(inner_trace);
+
+    TracedScope outer_scope(outer);
+    { // inner scope temporarily rebinds
+        TracedScope inner_scope(inner);
+        Traced a = 2.0;
+        (void)(a * a);
+        EXPECT_EQ(TracedScope::current(), &inner);
+    }
+    EXPECT_EQ(TracedScope::current(), &outer);
+    Traced b = 3.0;
+    (void)(b * b);
+
+    EXPECT_EQ(inner_trace.mix()[InstClass::FpMul], 1u);
+    EXPECT_EQ(outer_trace.mix()[InstClass::FpMul], 1u);
+}
+
+} // anonymous namespace
+} // namespace memo

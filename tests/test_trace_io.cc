@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for binary trace serialization (trace/io).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/io.hh"
+#include "trace/recorder.hh"
+
+namespace memo
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace trace;
+    Recorder rec(trace);
+    double buf[4] = {1.0, 2.0, 3.0, 4.0};
+    rec.mul(2.5, 4.0);
+    rec.div(10.0, 3.0);
+    rec.imul(-7, 6);
+    rec.load(buf[2]);
+    rec.store(buf[1], 9.0);
+    rec.alu(3);
+    rec.branch();
+    rec.sqrt(2.0);
+    return trace;
+}
+
+void
+expectEqualTraces(const Trace &original, const Trace &back);
+
+TEST(TraceIo, RoundTripCompressed)
+{
+    Trace original = sampleTrace();
+    std::stringstream ss;
+    writeTrace(original, ss); // v2 by default
+    Trace back = readTrace(ss);
+    expectEqualTraces(original, back);
+}
+
+TEST(TraceIo, RoundTripFixed)
+{
+    Trace original = sampleTrace();
+    std::stringstream ss;
+    writeTrace(original, ss, false); // v1
+    Trace back = readTrace(ss);
+    expectEqualTraces(original, back);
+}
+
+void
+expectEqualTraces(const Trace &original, const Trace &back)
+{
+
+    ASSERT_EQ(back.size(), original.size());
+    for (size_t i = 0; i < original.size(); i++) {
+        const Instruction &a = original.instructions()[i];
+        const Instruction &b = back.instructions()[i];
+        EXPECT_EQ(a.cls, b.cls) << i;
+        EXPECT_EQ(a.pc, b.pc) << i;
+        EXPECT_EQ(a.a, b.a) << i;
+        EXPECT_EQ(a.b, b.b) << i;
+        EXPECT_EQ(a.result, b.result) << i;
+        EXPECT_EQ(a.addr, b.addr) << i;
+    }
+}
+
+TEST(TraceIo, CompressionShrinksRepetitiveTraces)
+{
+    // A realistic stream: repeated operands, sequential addresses.
+    Trace trace;
+    Recorder rec(trace);
+    std::vector<double> data(256, 1.5);
+    for (int r = 0; r < 20; r++) {
+        for (int i = 0; i < 256; i++) {
+            double v = rec.load(data[static_cast<size_t>(i)]);
+            rec.mul(v, 3.0);
+            rec.div(v, 255.0);
+        }
+    }
+    std::stringstream fixed, delta;
+    writeTrace(trace, fixed, false);
+    writeTrace(trace, delta, true);
+    EXPECT_LT(delta.str().size() * 3, fixed.str().size());
+
+    Trace back = readTrace(delta);
+    expectEqualTraces(trace, back);
+}
+
+TEST(TraceIo, EmptyTrace)
+{
+    Trace empty;
+    std::stringstream ss;
+    writeTrace(empty, ss);
+    Trace back = readTrace(ss);
+    EXPECT_EQ(back.size(), 0u);
+}
+
+TEST(TraceIo, FixedFormatIsPacked)
+{
+    Trace t = sampleTrace();
+    std::stringstream ss;
+    writeTrace(t, ss, false);
+    // 16-byte header + 37 bytes per record, no padding.
+    EXPECT_EQ(ss.str().size(), 16u + 37u * t.size());
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream ss("NOTATRACE-------");
+    EXPECT_THROW(readTrace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncation)
+{
+    Trace t = sampleTrace();
+    std::stringstream ss;
+    writeTrace(t, ss, false);
+    std::string data = ss.str();
+    std::stringstream cut(data.substr(0, data.size() - 10));
+    EXPECT_THROW(readTrace(cut), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadClass)
+{
+    Trace t = sampleTrace();
+    std::stringstream ss;
+    writeTrace(t, ss, false);
+    std::string data = ss.str();
+    data[16] = 127; // corrupt the first record's class byte
+    std::stringstream bad(data);
+    EXPECT_THROW(readTrace(bad), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    Trace t = sampleTrace();
+    std::string path = "/tmp/memo_trace_io_test.bin";
+    writeTrace(t, path);
+    Trace back = readTrace(path);
+    EXPECT_EQ(back.size(), t.size());
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace memo

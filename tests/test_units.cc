@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the bit-level computation-unit models (arith/units):
+ * the digit recurrences must produce IEEE round-to-nearest-even exact
+ * results for normal operands, and their cycle counts must follow the
+ * radix/overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "arith/units.hh"
+
+namespace memo
+{
+namespace
+{
+
+/** Deterministic stream of "interesting" normal doubles. */
+class ValueStream
+{
+  public:
+    explicit ValueStream(uint64_t seed) : z(seed) {}
+
+    double
+    next()
+    {
+        while (true) {
+            z += 0x9e3779b97f4a7c15ULL;
+            uint64_t v = z ^ (z >> 31);
+            v *= 0xbf58476d1ce4e5b9ULL;
+            double d = std::bit_cast<double>(v);
+            if (std::isnormal(d))
+                return d;
+        }
+    }
+
+  private:
+    uint64_t z;
+};
+
+TEST(SrtDivider, ExactOnSimpleCases)
+{
+    SrtDivider div;
+    EXPECT_EQ(div.divide(6.0, 3.0).value, 2.0);
+    EXPECT_EQ(div.divide(1.0, 3.0).value, 1.0 / 3.0);
+    EXPECT_EQ(div.divide(-7.5, 2.5).value, -3.0);
+    EXPECT_EQ(div.divide(1e300, 1e-10).value, 1e300 / 1e-10);
+}
+
+TEST(SrtDivider, ExactOverRandomNormals)
+{
+    SrtDivider div;
+    ValueStream vs(101);
+    for (int i = 0; i < 20000; i++) {
+        double a = vs.next();
+        double b = vs.next();
+        double native = a / b;
+        if (!std::isnormal(native))
+            continue; // result under/overflow falls back by design
+        auto out = div.divide(a, b);
+        EXPECT_EQ(out.value, native) << a << " / " << b;
+        EXPECT_FALSE(out.exceptional);
+    }
+}
+
+TEST(SrtDivider, LatencyFollowsRadix)
+{
+    // Radix-2: one bit per cycle, 54 quotient bits.
+    EXPECT_EQ(SrtDivider(1, 3).latency(), 57u);
+    // Radix-4: two bits per cycle.
+    EXPECT_EQ(SrtDivider(2, 3).latency(), 30u);
+    // Radix-16.
+    EXPECT_EQ(SrtDivider(4, 2).latency(), 16u);
+}
+
+TEST(SrtDivider, Radix4LandsInTable1Range)
+{
+    // The paper's Table 1 lists 22-40 cycles for double division; a
+    // radix-4 SRT recurrence with small overhead is in that band.
+    unsigned lat = SrtDivider(2, 3).latency();
+    EXPECT_GE(lat, 22u);
+    EXPECT_LE(lat, 40u);
+}
+
+TEST(SrtDivider, ExceptionalOperandsFallBack)
+{
+    SrtDivider div;
+    auto out = div.divide(1.0, 0.0);
+    EXPECT_TRUE(out.exceptional);
+    EXPECT_TRUE(std::isinf(out.value));
+
+    out = div.divide(0.0, 5.0);
+    EXPECT_TRUE(out.exceptional);
+    EXPECT_EQ(out.value, 0.0);
+}
+
+TEST(SequentialMultiplier, ExactOnSimpleCases)
+{
+    SequentialMultiplier mul;
+    EXPECT_EQ(mul.multiply(3.0, 4.0).value, 12.0);
+    EXPECT_EQ(mul.multiply(-1.5, 1.5).value, -2.25);
+    EXPECT_EQ(mul.multiply(0.1, 0.2).value, 0.1 * 0.2);
+}
+
+TEST(SequentialMultiplier, ExactOverRandomNormals)
+{
+    SequentialMultiplier mul;
+    ValueStream vs(202);
+    for (int i = 0; i < 20000; i++) {
+        double a = vs.next();
+        double b = vs.next();
+        double native = a * b;
+        if (!std::isnormal(native))
+            continue;
+        auto out = mul.multiply(a, b);
+        EXPECT_EQ(out.value, native) << a << " * " << b;
+    }
+}
+
+TEST(SequentialMultiplier, Latency)
+{
+    // 18 bits/cycle covers 53 bits in 3 cycles + 1 overhead.
+    EXPECT_EQ(SequentialMultiplier(18, 1).latency(), 4u);
+    // A radix-4 Booth sequential multiplier: 27 cycles + overhead.
+    EXPECT_EQ(SequentialMultiplier(2, 1).latency(), 28u);
+}
+
+TEST(DigitRecurrenceSqrt, ExactOnPerfectSquares)
+{
+    DigitRecurrenceSqrt sq;
+    EXPECT_EQ(sq.sqrt(4.0).value, 2.0);
+    EXPECT_EQ(sq.sqrt(9.0).value, 3.0);
+    EXPECT_EQ(sq.sqrt(2.0).value, std::sqrt(2.0));
+    EXPECT_EQ(sq.sqrt(0.25).value, 0.5);
+}
+
+TEST(DigitRecurrenceSqrt, ExactOverRandomNormals)
+{
+    DigitRecurrenceSqrt sq;
+    ValueStream vs(303);
+    for (int i = 0; i < 20000; i++) {
+        double a = std::fabs(vs.next());
+        if (!std::isnormal(a))
+            continue;
+        auto out = sq.sqrt(a);
+        EXPECT_EQ(out.value, std::sqrt(a)) << a;
+        EXPECT_FALSE(out.exceptional);
+    }
+}
+
+TEST(DigitRecurrenceSqrt, NegativeFallsBack)
+{
+    DigitRecurrenceSqrt sq;
+    auto out = sq.sqrt(-1.0);
+    EXPECT_TRUE(out.exceptional);
+    EXPECT_TRUE(std::isnan(out.value));
+}
+
+TEST(Units, CyclesReportedMatchLatency)
+{
+    SrtDivider div(2, 3);
+    EXPECT_EQ(div.divide(10.0, 3.0).cycles, div.latency());
+    SequentialMultiplier mul(18, 1);
+    EXPECT_EQ(mul.multiply(10.0, 3.0).cycles, mul.latency());
+    DigitRecurrenceSqrt sq(2, 3);
+    EXPECT_EQ(sq.sqrt(10.0).cycles, sq.latency());
+}
+
+} // anonymous namespace
+} // namespace memo

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * memo-sim: command-line front end to the whole framework.
+ *
+ * Runs any bundled workload (or a pipeline of Khoros kernels) on any
+ * bundled or user-supplied image, under a fully configurable
+ * MEMO-TABLE and processor, and reports hit ratios, cycle counts,
+ * cache behaviour, instruction mix and reuse-distance analytics.
+ * Traces can be saved and replayed.
+ *
+ * Examples:
+ *   memo-sim --workload vkmeans --image mandrill
+ *   memo-sim --workload hydro2d --entries 16 --ways 2 --csv
+ *   memo-sim --pipeline vgef,venhance --image my.pgm --preset slow
+ *   memo-sim --workload vcost --image fractal --save-trace t.bin
+ *   memo-sim --load-trace t.bin --reuse --opmix
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "analysis/reuse.hh"
+#include "arith/fp.hh"
+#include "analysis/table.hh"
+#include "img/generate.hh"
+#include "img/pnm.hh"
+#include "sim/cpu.hh"
+#include "trace/io.hh"
+#include "workloads/workload.hh"
+
+using namespace memo;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload;
+    std::vector<std::string> pipeline;
+    std::string image = "mandrill";
+    std::string preset = "fast";
+    std::string saveTrace;
+    std::string loadTrace;
+    std::string statsFile;
+    MemoConfig table;
+    int crop = 128;
+    bool csv = false;
+    bool opmix = false;
+    bool reuse = false;
+    bool hot = false;
+    bool noMemo = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "memo-sim — MEMO-TABLE trace simulator\n\n"
+        "workload selection:\n"
+        "  --workload NAME     MM kernel or scientific analogue\n"
+        "  --pipeline A,B,C    run several MM kernels back to back\n"
+        "  --image NAME|FILE   bundled image or .pgm/.ppm path\n"
+        "  --crop N            centre-crop inputs to NxN (default 128)\n"
+        "  --list              list workloads and images\n\n"
+        "MEMO-TABLE configuration:\n"
+        "  --entries N --ways N (default 32/4)\n"
+        "  --infinite          unbounded fully associative table\n"
+        "  --tag full|mant     tag mode (Table 10)\n"
+        "  --trivial all|non|intgr  trivial policy (Table 9)\n"
+        "  --repl lru|fifo|random   replacement policy\n"
+        "  --hash xor|add      fp index hash\n"
+        "  --no-memo           baseline run only\n\n"
+        "processor:\n"
+        "  --preset fast|slow|pentiumpro|alpha21164|r10000|ppc604e|\n"
+        "           ultrasparc2|pa8000\n\n"
+        "output & traces:\n"
+        "  --csv               machine-readable output\n"
+        "  --opmix             print the instruction-class mix\n"
+        "  --reuse             reuse-distance analytics per unit\n"
+        "  --hot               hottest operand pairs per unit\n"
+        "  --save-trace FILE / --load-trace FILE\n"
+        "  --stats FILE        write key=value statistics\n");
+}
+
+CpuPreset
+parsePreset(const std::string &s)
+{
+    if (s == "fast")
+        return CpuPreset::FastFpu;
+    if (s == "slow")
+        return CpuPreset::SlowFpu;
+    if (s == "pentiumpro")
+        return CpuPreset::PentiumPro;
+    if (s == "alpha21164")
+        return CpuPreset::Alpha21164;
+    if (s == "r10000")
+        return CpuPreset::MipsR10000;
+    if (s == "ppc604e")
+        return CpuPreset::Ppc604e;
+    if (s == "ultrasparc2")
+        return CpuPreset::UltraSparcII;
+    if (s == "pa8000")
+        return CpuPreset::Pa8000;
+    throw std::runtime_error("unknown preset: " + s);
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            throw std::runtime_error(std::string("missing value for ") +
+                                     argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--workload") {
+            opt.workload = need(i);
+        } else if (a == "--pipeline") {
+            opt.pipeline = splitList(need(i));
+        } else if (a == "--image") {
+            opt.image = need(i);
+        } else if (a == "--crop") {
+            opt.crop = std::atoi(need(i).c_str());
+        } else if (a == "--entries") {
+            opt.table.entries =
+                static_cast<unsigned>(std::atoi(need(i).c_str()));
+        } else if (a == "--ways") {
+            opt.table.ways =
+                static_cast<unsigned>(std::atoi(need(i).c_str()));
+        } else if (a == "--infinite") {
+            opt.table.infinite = true;
+        } else if (a == "--tag") {
+            std::string v = need(i);
+            opt.table.tagMode = v == "mant" ? TagMode::MantissaOnly
+                                            : TagMode::FullValue;
+        } else if (a == "--trivial") {
+            std::string v = need(i);
+            opt.table.trivialMode =
+                v == "all" ? TrivialMode::CacheAll
+                : v == "intgr" ? TrivialMode::Integrated
+                               : TrivialMode::NonTrivialOnly;
+        } else if (a == "--repl") {
+            std::string v = need(i);
+            opt.table.replacement = v == "fifo" ? Replacement::Fifo
+                                    : v == "random"
+                                        ? Replacement::Random
+                                        : Replacement::Lru;
+        } else if (a == "--hash") {
+            opt.table.hashScheme = need(i) == "xor"
+                                       ? HashScheme::PaperXor
+                                       : HashScheme::Additive;
+        } else if (a == "--preset") {
+            opt.preset = need(i);
+        } else if (a == "--csv") {
+            opt.csv = true;
+        } else if (a == "--opmix") {
+            opt.opmix = true;
+        } else if (a == "--reuse") {
+            opt.reuse = true;
+        } else if (a == "--hot") {
+            opt.hot = true;
+        } else if (a == "--no-memo") {
+            opt.noMemo = true;
+        } else if (a == "--save-trace") {
+            opt.saveTrace = need(i);
+        } else if (a == "--load-trace") {
+            opt.loadTrace = need(i);
+        } else if (a == "--stats") {
+            opt.statsFile = need(i);
+        } else if (a == "--list") {
+            std::printf("MM kernels:\n ");
+            for (const auto &k : mmKernels())
+                std::printf(" %s", k.name.c_str());
+            std::printf("\nscientific analogues:\n ");
+            for (const auto &w : perfectWorkloads())
+                std::printf(" %s", w.name.c_str());
+            for (const auto &w : specWorkloads())
+                std::printf(" %s", w.name.c_str());
+            std::printf("\nimages:\n ");
+            for (const auto &ni : standardImages())
+                std::printf(" %s", ni.name.c_str());
+            std::printf("\n");
+            std::exit(0);
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            throw std::runtime_error("unknown option: " + a);
+        }
+    }
+    return opt;
+}
+
+Image
+loadImage(const Options &opt)
+{
+    if (opt.image.find('.') != std::string::npos &&
+        (opt.image.ends_with(".pgm") || opt.image.ends_with(".ppm")))
+        return readPnm(opt.image);
+    // Bundled images use their Table 8 names; ".rgb" suffixed names
+    // contain a dot but are bundled.
+    return imageByName(opt.image).image;
+}
+
+Trace
+buildTrace(const Options &opt)
+{
+    if (!opt.loadTrace.empty())
+        return readTrace(opt.loadTrace);
+
+    Trace trace;
+    Recorder rec(trace);
+    if (!opt.pipeline.empty()) {
+        Image input = cropForTrace(loadImage(opt), opt.crop);
+        for (const auto &name : opt.pipeline)
+            mmKernelByName(name).run(rec, input, nullptr);
+        return trace;
+    }
+    if (opt.workload.empty())
+        throw std::runtime_error(
+            "need --workload, --pipeline or --load-trace "
+            "(see --help)");
+    // MM kernel first, scientific analogue otherwise.
+    for (const auto &k : mmKernels()) {
+        if (k.name == opt.workload) {
+            Image input = cropForTrace(loadImage(opt), opt.crop);
+            k.run(rec, input, nullptr);
+            return trace;
+        }
+    }
+    sciWorkloadByName(opt.workload).run(rec);
+    return trace;
+}
+
+void
+printOpMix(const Trace &trace, bool csv)
+{
+    OpMix mix = trace.mix();
+    TextTable t({"class", "count", "fraction"});
+    for (unsigned c = 0; c < numInstClasses; c++) {
+        InstClass cls = static_cast<InstClass>(c);
+        if (mix[cls] == 0)
+            continue;
+        t.addRow({std::string(instClassName(cls)),
+                  TextTable::count(mix[cls]),
+                  TextTable::fixed(100.0 * mix.fraction(cls), 1) + "%"});
+    }
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+}
+
+void
+printHot(const Trace &trace, bool csv)
+{
+    TextTable t({"unit", "operand a", "operand b", "count"});
+    for (Operation op : {Operation::IntMul, Operation::FpMul,
+                         Operation::FpDiv}) {
+        for (const auto &p : hottestPairs(trace, op, 5)) {
+            std::string a_str, b_str;
+            if (op == Operation::IntMul) {
+                a_str = std::to_string(static_cast<int64_t>(p.aBits));
+                b_str = std::to_string(static_cast<int64_t>(p.bBits));
+            } else {
+                a_str = TextTable::fixed(fpFromBits(p.aBits), 4);
+                b_str = TextTable::fixed(fpFromBits(p.bBits), 4);
+            }
+            t.addRow({std::string(operationName(op)), a_str, b_str,
+                      TextTable::count(p.count)});
+        }
+    }
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+}
+
+void
+printReuse(const Trace &trace, bool csv)
+{
+    TextTable t({"unit", "accesses", "cold", "pred@8", "pred@32",
+                 "pred@1024", "entries for 50%"});
+    for (Operation op : {Operation::IntMul, Operation::FpMul,
+                         Operation::FpDiv}) {
+        ReuseProfile prof = reuseProfile(trace, op);
+        if (prof.accesses() == 0)
+            continue;
+        unsigned need = prof.entriesForHitRatio(0.5);
+        t.addRow({std::string(operationName(op)),
+                  TextTable::count(prof.accesses()),
+                  TextTable::count(prof.coldMisses()),
+                  TextTable::ratio(prof.predictedHitRatio(8)),
+                  TextTable::ratio(prof.predictedHitRatio(32)),
+                  TextTable::ratio(prof.predictedHitRatio(1024)),
+                  need ? TextTable::count(need) : "> 8192"});
+    }
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options opt = parseArgs(argc, argv);
+        if (std::string err = opt.table.validate(); !err.empty())
+            throw std::runtime_error("table config: " + err);
+
+        Trace trace = buildTrace(opt);
+        if (!opt.saveTrace.empty())
+            writeTrace(trace, opt.saveTrace);
+
+        if (opt.opmix)
+            printOpMix(trace, opt.csv);
+        if (opt.reuse)
+            printReuse(trace, opt.csv);
+        if (opt.hot)
+            printHot(trace, opt.csv);
+
+        CpuConfig cpu_cfg;
+        cpu_cfg.lat = LatencyConfig::preset(parsePreset(opt.preset));
+        CpuModel cpu(cpu_cfg);
+        SimResult base = cpu.run(trace);
+
+        TextTable t({"metric", "value"});
+        t.addRow({"instructions", TextTable::count(trace.size())});
+        t.addRow({"processor", cpu_cfg.lat.name});
+        t.addRow({"baseline cycles",
+                  TextTable::count(base.totalCycles)});
+        t.addRow({"L1 hit ratio", TextTable::ratio(base.l1.hitRatio())});
+        t.addRow({"L2 hit ratio", TextTable::ratio(base.l2.hitRatio())});
+
+        if (!opt.noMemo) {
+            MemoBank bank = MemoBank::standard(opt.table);
+            SimResult memo = cpu.run(trace, &bank);
+            t.addRow({"MEMO-TABLE", opt.table.describe()});
+            t.addRow({"memoized cycles",
+                      TextTable::count(memo.totalCycles)});
+            t.addRow({"speedup",
+                      TextTable::fixed(
+                          static_cast<double>(base.totalCycles) /
+                              memo.totalCycles,
+                          3)});
+            for (Operation op : {Operation::IntMul, Operation::FpMul,
+                                 Operation::FpDiv}) {
+                auto it = memo.memo.find(op);
+                if (it == memo.memo.end() || it->second.lookups == 0)
+                    continue;
+                t.addRow({std::string(operationName(op)) +
+                              " hit ratio",
+                          TextTable::ratio(it->second.hitRatio())});
+            }
+        }
+        if (opt.csv)
+            t.printCsv(std::cout);
+        else
+            t.print(std::cout);
+
+        if (!opt.statsFile.empty()) {
+            std::ofstream stats(opt.statsFile);
+            stats << "instructions=" << trace.size() << "\n"
+                  << "baseline_cycles=" << base.totalCycles << "\n"
+                  << "l1_hit_ratio=" << base.l1.hitRatio() << "\n"
+                  << "l2_hit_ratio=" << base.l2.hitRatio() << "\n";
+            if (!opt.noMemo) {
+                MemoBank bank = MemoBank::standard(opt.table);
+                SimResult memo = cpu.run(trace, &bank);
+                stats << "memo_cycles=" << memo.totalCycles << "\n"
+                      << "speedup="
+                      << static_cast<double>(base.totalCycles) /
+                             memo.totalCycles
+                      << "\n";
+                for (Operation op :
+                     {Operation::IntMul, Operation::FpMul,
+                      Operation::FpDiv}) {
+                    auto it = memo.memo.find(op);
+                    if (it == memo.memo.end() ||
+                        it->second.lookups == 0)
+                        continue;
+                    std::string key(operationName(op));
+                    for (auto &ch : key)
+                        if (ch == ' ')
+                            ch = '_';
+                    stats << key << "_hit_ratio="
+                          << it->second.hitRatio() << "\n"
+                          << key << "_lookups="
+                          << it->second.lookups << "\n";
+                }
+            }
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "memo-sim: %s\n", e.what());
+        return 1;
+    }
+}
