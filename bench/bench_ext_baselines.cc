@@ -40,7 +40,7 @@ main()
         for (const auto &ni : standardImages()) {
             Trace trace = traceMmKernel(k, ni.image, bench::benchCrop);
             memo_t.flush();
-            for (const auto &inst : trace.instructions()) {
+            for (const auto &inst : trace) {
                 // The Reuse Buffer caches every instruction type: the
                 // single-cycle traffic bumps long-latency entries.
                 if (inst.cls == InstClass::IntAlu ||

@@ -36,7 +36,7 @@ replayWithFaults(const Trace &trace, bool parity, unsigned flip_period)
     FaultRun run;
     uint64_t rng = 12345;
     uint64_t since_flip = 0;
-    for (const auto &inst : trace.instructions()) {
+    for (const auto &inst : trace) {
         if (inst.cls != InstClass::FpDiv)
             continue;
         if (++since_flip >= flip_period) {

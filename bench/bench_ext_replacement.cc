@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "exec/parallel.hh"
 
 using namespace memo;
 
@@ -19,19 +20,24 @@ main()
     TextTable t({"application", "fd LRU", "fd FIFO", "fd rand",
                  "fm LRU", "fm FIFO", "fm rand"});
 
-    for (const auto &name : sweepKernelNames()) {
-        const MmKernel &k = mmKernelByName(name);
+    const auto &names = sweepKernelNames();
+    auto all = exec::sweep(names, [](const std::string &name) {
         std::vector<MemoConfig> cfgs(3);
         cfgs[0].replacement = Replacement::Lru;
         cfgs[1].replacement = Replacement::Fifo;
         cfgs[2].replacement = Replacement::Random;
-        auto hits = measureMmKernelConfigs(k, cfgs, bench::benchCrop);
+        return measureMmKernelConfigs(mmKernelByName(name), cfgs,
+                                      bench::benchCrop);
+    });
+
+    for (size_t ki = 0; ki < names.size(); ki++) {
+        const auto &hits = all[ki];
         double fd[3], fm[3];
         for (int i = 0; i < 3; i++) {
             fd[i] = hits[i].fpDiv;
             fm[i] = hits[i].fpMul;
         }
-        t.addRow({name, TextTable::ratio(fd[0]),
+        t.addRow({names[ki], TextTable::ratio(fd[0]),
                   TextTable::ratio(fd[1]), TextTable::ratio(fd[2]),
                   TextTable::ratio(fm[0]), TextTable::ratio(fm[1]),
                   TextTable::ratio(fm[2])});

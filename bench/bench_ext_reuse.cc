@@ -26,7 +26,7 @@ simulatedFaHitRatio(const Trace &trace, Operation op, unsigned entries)
     cfg.entries = entries;
     cfg.ways = entries; // fully associative
     MemoTable table(op, cfg);
-    for (const auto &inst : trace.instructions()) {
+    for (const auto &inst : trace) {
         if (memoOperation(inst.cls) != op)
             continue;
         if (!table.lookup(inst.a, inst.b))

@@ -44,7 +44,7 @@ main()
             // Dispatch alternate divisions to alternate units
             // (round-robin issue), as a dual-divider core would.
             unsigned unit = 0;
-            for (const auto &inst : trace.instructions()) {
+            for (const auto &inst : trace) {
                 if (inst.cls != InstClass::FpDiv)
                     continue;
                 any = true;

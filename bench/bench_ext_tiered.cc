@@ -11,6 +11,7 @@
 
 #include "common.hh"
 #include "core/tiered_table.hh"
+#include "exec/parallel.hh"
 #include "sim/cost.hh"
 
 using namespace memo;
@@ -35,6 +36,54 @@ effectiveCost(double hit1, double hit2, unsigned lat2, unsigned dc)
     return e;
 }
 
+/** One application's measurements (any == false: no divisions). */
+struct AppRow
+{
+    bool any = false;
+    double smallHr = 0.0, bigHr = 0.0, l1Hr = 0.0, l2Hr = 0.0;
+};
+
+AppRow
+measureApp(const MmKernel &k, const MemoConfig &small_cfg,
+           const MemoConfig &big_cfg)
+{
+    MemoTable small_t(Operation::FpDiv, small_cfg);
+    MemoTable big_t(Operation::FpDiv, big_cfg);
+    TieredMemoTable tiered(Operation::FpDiv, small_cfg, big_cfg);
+
+    AppRow row;
+    for (const auto &ni : standardImages()) {
+        auto trace = cachedMmKernelTrace(k, ni, bench::benchCrop);
+        small_t.flush();
+        big_t.flush();
+        for (const auto &inst : *trace) {
+            if (inst.cls != InstClass::FpDiv)
+                continue;
+            row.any = true;
+            if (!small_t.lookup(inst.a, inst.b))
+                small_t.update(inst.a, inst.b, inst.result);
+            if (!big_t.lookup(inst.a, inst.b))
+                big_t.update(inst.a, inst.b, inst.result);
+            if (!tiered.lookup(inst.a, inst.b))
+                tiered.update(inst.a, inst.b, inst.result);
+        }
+    }
+    if (!row.any)
+        return row;
+
+    row.smallHr = small_t.stats().hitRatio();
+    row.bigHr = big_t.stats().hitRatio();
+    uint64_t lookups = tiered.l1Stats().lookups;
+    row.l1Hr = lookups ? static_cast<double>(
+                             tiered.l1Stats().allHits()) /
+                             lookups
+                       : 0.0;
+    row.l2Hr = lookups ? static_cast<double>(tiered.l2Stats().hits) /
+                             lookups
+                       : 0.0;
+    return row;
+}
+
 } // anonymous namespace
 
 int
@@ -54,54 +103,27 @@ main()
     TextTable t({"application", "small hit", "big hit", "L1 hit",
                  "L2 hit", "eff small", "eff big", "eff tiered"});
 
+    const auto &apps = bench::speedupApps();
+    auto rows = exec::sweep(apps, [&](const std::string &name) {
+        return measureApp(mmKernelByName(name), small_cfg, big_cfg);
+    });
+
     double sum_small = 0, sum_big = 0, sum_tier = 0;
     int n = 0;
-    for (const auto &name : bench::speedupApps()) {
-        const MmKernel &k = mmKernelByName(name);
-
-        MemoTable small_t(Operation::FpDiv, small_cfg);
-        MemoTable big_t(Operation::FpDiv, big_cfg);
-        TieredMemoTable tiered(Operation::FpDiv, small_cfg, big_cfg);
-
-        bool any = false;
-        for (const auto &ni : standardImages()) {
-            Trace trace = traceMmKernel(k, ni.image, bench::benchCrop);
-            small_t.flush();
-            big_t.flush();
-            for (const auto &inst : trace.instructions()) {
-                if (inst.cls != InstClass::FpDiv)
-                    continue;
-                any = true;
-                if (!small_t.lookup(inst.a, inst.b))
-                    small_t.update(inst.a, inst.b, inst.result);
-                if (!big_t.lookup(inst.a, inst.b))
-                    big_t.update(inst.a, inst.b, inst.result);
-                if (!tiered.lookup(inst.a, inst.b))
-                    tiered.update(inst.a, inst.b, inst.result);
-            }
-        }
-        if (!any)
+    for (size_t ai = 0; ai < apps.size(); ai++) {
+        const AppRow &row = rows[ai];
+        if (!row.any)
             continue;
 
-        double small_hr = small_t.stats().hitRatio();
-        double big_hr = big_t.stats().hitRatio();
-        uint64_t lookups = tiered.l1Stats().lookups;
-        double l1_hr = lookups ? static_cast<double>(
-                                     tiered.l1Stats().allHits()) /
-                                     lookups
-                               : 0.0;
-        double l2_hr = lookups ? static_cast<double>(
-                                     tiered.l2Stats().hits) /
-                                     lookups
-                               : 0.0;
+        Effective es = effectiveCost(row.smallHr, 0.0, big_lat, dc);
+        Effective eb = effectiveCost(0.0, row.bigHr, big_lat, dc);
+        Effective et = effectiveCost(row.l1Hr, row.l2Hr, big_lat, dc);
 
-        Effective es = effectiveCost(small_hr, 0.0, big_lat, dc);
-        Effective eb = effectiveCost(0.0, big_hr, big_lat, dc);
-        Effective et = effectiveCost(l1_hr, l2_hr, big_lat, dc);
-
-        t.addRow({name, TextTable::ratio(small_hr),
-                  TextTable::ratio(big_hr), TextTable::ratio(l1_hr),
-                  TextTable::ratio(l2_hr), TextTable::fixed(es.cost, 1),
+        t.addRow({apps[ai], TextTable::ratio(row.smallHr),
+                  TextTable::ratio(row.bigHr),
+                  TextTable::ratio(row.l1Hr),
+                  TextTable::ratio(row.l2Hr),
+                  TextTable::fixed(es.cost, 1),
                   TextTable::fixed(eb.cost, 1),
                   TextTable::fixed(et.cost, 1)});
         sum_small += es.cost;

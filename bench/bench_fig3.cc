@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "exec/parallel.hh"
 
 using namespace memo;
 
@@ -30,11 +31,12 @@ sweepAll()
         cfg.ways = 4;
         cfgs.push_back(cfg);
     }
-    std::vector<std::vector<UnitHits>> all;
-    for (const auto &name : sweepKernelNames())
-        all.push_back(measureMmKernelConfigs(mmKernelByName(name),
-                                             cfgs, bench::benchCrop));
-    return all;
+    // Kernels fan out across the executor; the per-kernel config
+    // sweep runs inline inside each worker.
+    return exec::sweep(sweepKernelNames(), [&](const std::string &n) {
+        return measureMmKernelConfigs(mmKernelByName(n), cfgs,
+                                      bench::benchCrop);
+    });
 }
 
 void

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "exec/parallel.hh"
 
 using namespace memo;
 
@@ -27,11 +28,10 @@ sweepAll()
         cfg.ways = ways;
         cfgs.push_back(cfg);
     }
-    std::vector<std::vector<UnitHits>> all;
-    for (const auto &name : sweepKernelNames())
-        all.push_back(measureMmKernelConfigs(mmKernelByName(name),
-                                             cfgs, bench::benchCrop));
-    return all;
+    return exec::sweep(sweepKernelNames(), [&](const std::string &n) {
+        return measureMmKernelConfigs(mmKernelByName(n), cfgs,
+                                      bench::benchCrop);
+    });
 }
 
 void

@@ -3,7 +3,8 @@
  * Microbenchmarks (google-benchmark): software cost of the MEMO-TABLE
  * primitives themselves — lookup hit/miss paths, insertion, the
  * infinite table, and the Reuse Buffer, for users embedding the
- * library in their own simulators.
+ * library in their own simulators — plus the trace-recording and
+ * trace-iteration paths that dominate harness wall-clock.
  */
 
 #include <benchmark/benchmark.h>
@@ -11,6 +12,8 @@
 #include "arith/fp.hh"
 #include "core/memo_table.hh"
 #include "core/reuse_buffer.hh"
+#include "trace/recorder.hh"
+#include "trace/trace.hh"
 
 using namespace memo;
 
@@ -113,6 +116,55 @@ BM_ReuseBuffer(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ReuseBuffer);
+
+void
+BM_RecordKernelLoop(benchmark::State &state)
+{
+    // The shape of an instrumented inner loop: loads, a multiply, an
+    // accumulate, a store, loop overhead. Exercises Recorder's pc
+    // synthesis, address remapping, and Trace::push back to back.
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::vector<double> src(n, 1.5), dst(n, 0.0);
+    for (auto _ : state) {
+        Trace trace;
+        trace.reserve(n * 6);
+        Recorder rec(trace);
+        for (size_t i = 0; i < n; i++) {
+            double a = rec.load(src[i]);
+            double p = rec.mul(a, 0.25);
+            double s = rec.fadd(p, 1.0);
+            rec.store(dst[i], s);
+            rec.alu(1);
+            rec.branch();
+        }
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n) * 6);
+}
+BENCHMARK(BM_RecordKernelLoop)->Arg(1 << 10)->Arg(1 << 14);
+
+void
+BM_TraceIterate(benchmark::State &state)
+{
+    // Replay-side cost of the structure-of-arrays iteration shim.
+    const size_t n = static_cast<size_t>(state.range(0));
+    Trace trace;
+    trace.reserve(n);
+    std::vector<double> src(n, 2.0), dst(n, 0.0);
+    Recorder rec(trace);
+    for (size_t i = 0; i < n; i++)
+        rec.mul(rec.load(src[i]), 3.0);
+    for (auto _ : state) {
+        uint64_t acc = 0;
+        for (const Instruction &inst : trace)
+            acc += inst.pc + inst.a;
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_TraceIterate)->Arg(1 << 14);
 
 } // anonymous namespace
 

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Executor scaling harness: runs the Figure 3 table-geometry sweep
+ * (5 kernels x 11 table sizes) serially and in parallel, verifies the
+ * two runs produce bit-identical hit ratios, and emits machine-
+ * readable wall-clock timings (BENCH_sweep.json) so the perf
+ * trajectory of the reproduction suite is tracked across PRs.
+ *
+ * Usage: bench_sweep_scaling [output.json] [jobs]
+ *   output.json  defaults to BENCH_sweep.json in the CWD
+ *   jobs         parallel worker count (default 8, capped by the pool)
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "common.hh"
+#include "exec/parallel.hh"
+#include "exec/trace_cache.hh"
+
+using namespace memo;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** The Figure 3 sweep geometry: 4-way tables, 8..8192 entries. */
+std::vector<MemoConfig>
+sweepConfigs()
+{
+    std::vector<MemoConfig> cfgs;
+    for (unsigned entries : {8u, 16u, 32u, 64u, 128u, 256u, 512u,
+                             1024u, 2048u, 4096u, 8192u}) {
+        MemoConfig cfg;
+        cfg.entries = entries;
+        cfg.ways = 4;
+        cfgs.push_back(cfg);
+    }
+    return cfgs;
+}
+
+/**
+ * Replay the whole sweep as one flat (kernel, config) job list, so
+ * the executor sees 55 independent work items. Traces come from the
+ * warmed TraceCache; each job owns its MemoBank.
+ */
+std::vector<UnitHits>
+runSweep(const std::vector<std::string> &kernels,
+         const std::vector<MemoConfig> &cfgs, unsigned jobs)
+{
+    size_t n = kernels.size() * cfgs.size();
+    return exec::sweep(
+        n,
+        [&](size_t i) {
+            const MmKernel &k = mmKernelByName(kernels[i / cfgs.size()]);
+            const MemoConfig &cfg = cfgs[i % cfgs.size()];
+            MemoBank bank = MemoBank::standard(cfg);
+            for (const auto &ni : standardImages()) {
+                auto trace =
+                    cachedMmKernelTrace(k, ni, bench::benchCrop);
+                bank.table(Operation::IntMul)->flush();
+                bank.table(Operation::FpMul)->flush();
+                bank.table(Operation::FpDiv)->flush();
+                replayMemo(*trace, bank);
+            }
+            return hitsOf(bank);
+        },
+        jobs);
+}
+
+bool
+identical(const std::vector<UnitHits> &a, const std::vector<UnitHits> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++) {
+        if (a[i].intMul != b[i].intMul || a[i].fpMul != b[i].fpMul ||
+            a[i].fpDiv != b[i].fpDiv)
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+    unsigned jobs = argc > 2
+                        ? static_cast<unsigned>(std::atoi(argv[2]))
+                        : 8u;
+    if (jobs == 0)
+        jobs = exec::ThreadPool::defaultJobs();
+
+    bench::printHeader(
+        "Executor scaling: Figure 3 sweep, serial vs parallel",
+        "exec subsystem performance tracking");
+
+    const auto &kernels = sweepKernelNames();
+    auto cfgs = sweepConfigs();
+
+    // Warm the trace cache first so both timed runs measure pure
+    // sweep execution, not trace generation; generation itself fans
+    // out across (kernel, image) pairs.
+    auto t0 = Clock::now();
+    exec::parallelFor(
+        kernels.size() * standardImages().size(),
+        [&](size_t i) {
+            const MmKernel &k =
+                mmKernelByName(kernels[i / standardImages().size()]);
+            const NamedImage &ni =
+                standardImages()[i % standardImages().size()];
+            cachedMmKernelTrace(k, ni, bench::benchCrop);
+        },
+        jobs);
+    auto t1 = Clock::now();
+    double gen_s = seconds(t0, t1);
+
+    t0 = Clock::now();
+    auto serial = runSweep(kernels, cfgs, 1);
+    t1 = Clock::now();
+    double serial_s = seconds(t0, t1);
+
+    t0 = Clock::now();
+    auto parallel = runSweep(kernels, cfgs, jobs);
+    t1 = Clock::now();
+    double parallel_s = seconds(t0, t1);
+
+    bool det = identical(serial, parallel);
+    double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+
+    TextTable t({"metric", "value"});
+    t.addRow({"sweep points",
+              TextTable::count(kernels.size() * cfgs.size())});
+    t.addRow({"trace generation (s)", TextTable::fixed(gen_s, 2)});
+    t.addRow({"serial sweep (s)", TextTable::fixed(serial_s, 2)});
+    t.addRow({"parallel sweep (s)", TextTable::fixed(parallel_s, 2)});
+    t.addRow({"jobs", TextTable::count(jobs)});
+    t.addRow({"hardware threads",
+              TextTable::count(std::thread::hardware_concurrency())});
+    t.addRow({"speedup", TextTable::fixed(speedup, 2)});
+    t.addRow({"deterministic", det ? "yes" : "NO (BUG)"});
+    t.print(std::cout);
+
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"fig3_sweep\",\n"
+        << "  \"sweep_points\": " << kernels.size() * cfgs.size()
+        << ",\n"
+        << "  \"trace_gen_seconds\": " << gen_s << ",\n"
+        << "  \"serial_seconds\": " << serial_s << ",\n"
+        << "  \"parallel_seconds\": " << parallel_s << ",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"hardware_threads\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"deterministic\": " << (det ? "true" : "false") << ",\n"
+        << "  \"trace_cache_resident_mb\": "
+        << exec::TraceCache::instance().residentBytes() / (1024 * 1024)
+        << "\n}\n";
+    std::cout << "\nwrote " << out_path << "\n";
+
+    return det ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "exec/parallel.hh"
 
 using namespace memo;
 
@@ -24,12 +25,19 @@ void
 averagesMm(const MemoConfig &full, const MemoConfig &mant,
            SuiteAvg &out_full, SuiteAvg &out_mant)
 {
+    // Fan the kernels out across the executor; reduce in kernel order.
+    auto per_kernel =
+        exec::sweep(mmKernels(), [&](const MmKernel &k) {
+            if (k.name == "vsqrt")
+                return std::vector<UnitHits>{};
+            return measureMmKernelConfigs(k, {full, mant},
+                                          bench::benchCrop);
+        });
+
     int nm = 0, nd = 0;
-    for (const auto &k : mmKernels()) {
-        if (k.name == "vsqrt")
+    for (const auto &hits : per_kernel) {
+        if (hits.empty())
             continue;
-        auto hits = measureMmKernelConfigs(k, {full, mant},
-                                           bench::benchCrop);
         if (hits[0].fpMul >= 0) {
             out_full.fpMul += hits[0].fpMul;
             out_mant.fpMul += hits[1].fpMul;
@@ -50,10 +58,14 @@ averagesMm(const MemoConfig &full, const MemoConfig &mant,
 SuiteAvg
 averagePerfect(const MemoConfig &cfg)
 {
+    auto per_workload =
+        exec::sweep(perfectWorkloads(), [&](const SciWorkload &w) {
+            return measureSci(w, cfg);
+        });
+
     SuiteAvg avg;
     int nm = 0, nd = 0;
-    for (const auto &w : perfectWorkloads()) {
-        UnitHits h = measureSci(w, cfg);
+    for (const UnitHits &h : per_workload) {
         if (h.fpMul >= 0) {
             avg.fpMul += h.fpMul;
             nm++;

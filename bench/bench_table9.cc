@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "common.hh"
+#include "exec/parallel.hh"
 
 using namespace memo;
 
@@ -38,9 +39,9 @@ measure(const MmKernel &k, Operation op)
         cfg.trivialMode = modes[m];
         MemoBank bank = MemoBank::standard(cfg);
         for (const auto &ni : standardImages()) {
-            Trace trace = traceMmKernel(k, ni.image, bench::benchCrop);
+            auto trace = cachedMmKernelTrace(k, ni, bench::benchCrop);
             bank.table(op)->flush();
-            replayMemo(trace, bank);
+            replayMemo(*trace, bank);
         }
         const MemoStats &s = bank.table(op)->stats();
         if (s.lookups)
@@ -52,6 +53,12 @@ measure(const MmKernel &k, Operation op)
     }
     return row;
 }
+
+/** All three units' rows for one application. */
+struct AppRows
+{
+    ModeRow im, fm, fd;
+};
 
 } // anonymous namespace
 
@@ -70,11 +77,20 @@ main()
     TextTable t({"application", "im trv", "im all", "im non",
                  "im intgr", "fm trv", "fm all", "fm non", "fm intgr",
                  "fd trv", "fd all", "fd non", "fd intgr"});
-    for (const auto &name : apps) {
+    // One executor job per application; traces come from the shared
+    // cache, so each (app, image) pair is recorded exactly once.
+    auto rows = exec::sweep(apps, [](const std::string &name) {
         const MmKernel &k = mmKernelByName(name);
-        ModeRow im = measure(k, Operation::IntMul);
-        ModeRow fm = measure(k, Operation::FpMul);
-        ModeRow fd = measure(k, Operation::FpDiv);
+        return AppRows{measure(k, Operation::IntMul),
+                       measure(k, Operation::FpMul),
+                       measure(k, Operation::FpDiv)};
+    });
+
+    for (size_t ai = 0; ai < apps.size(); ai++) {
+        const std::string &name = apps[ai];
+        const ModeRow &im = rows[ai].im;
+        const ModeRow &fm = rows[ai].fm;
+        const ModeRow &fd = rows[ai].fd;
         t.addRow({name, TextTable::ratio(im.trv),
                   TextTable::ratio(im.all), TextTable::ratio(im.non),
                   TextTable::ratio(im.intgr), TextTable::ratio(fm.trv),

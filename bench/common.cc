@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "exec/parallel.hh"
 #include "img/generate.hh"
 
 namespace memo::bench
@@ -34,9 +35,12 @@ measureAppCycles(const MmKernel &kernel, const LatencyConfig &lat,
 
     AppCycles acc;
     for (const auto &named : standardImages()) {
-        Trace trace = traceMmKernel(kernel, named.image, benchCrop);
+        // Shared cached trace: the speedup tables call this for up to
+        // three (memo_mul, memo_div) variants and two latency presets
+        // per app, and re-tracing each time dominated their runtime.
+        auto trace = cachedMmKernelTrace(kernel, named, benchCrop);
 
-        SimResult base = cpu.run(trace);
+        SimResult base = cpu.run(*trace);
         acc.totalCycles += base.totalCycles;
         acc.fpDivCycles += base.cyclesOf(InstClass::FpDiv);
         acc.fpMulCycles += base.cyclesOf(InstClass::FpMul);
@@ -45,7 +49,7 @@ measureAppCycles(const MmKernel &kernel, const LatencyConfig &lat,
             t->flush();
         if (MemoTable *t = bank.table(Operation::FpDiv))
             t->flush();
-        SimResult memo = cpu.run(trace, &bank);
+        SimResult memo = cpu.run(*trace, &bank);
         acc.memoTotalCycles += memo.totalCycles;
     }
 
@@ -78,11 +82,22 @@ printSciSuite(const std::vector<SciWorkload> &suite)
                  "int mult inf", "fp mult inf", "fp div inf",
                  "paper 32 (i/m/d)", "paper inf (i/m/d)"});
 
+    // Measure the suite in parallel (two index-aligned result slots
+    // per workload), then reduce and print in suite order.
+    struct Pair
+    {
+        UnitHits h32, hinf;
+    };
+    auto rows = exec::sweep(suite, [&](const SciWorkload &w) {
+        return Pair{measureSci(w, c32), measureSci(w, cinf)};
+    });
+
     double s32[3] = {}, sinf[3] = {};
     int n32[3] = {}, ninf[3] = {};
-    for (const auto &w : suite) {
-        UnitHits h32 = measureSci(w, c32);
-        UnitHits hinf = measureSci(w, cinf);
+    for (size_t wi = 0; wi < suite.size(); wi++) {
+        const SciWorkload &w = suite[wi];
+        const UnitHits &h32 = rows[wi].h32;
+        const UnitHits &hinf = rows[wi].hinf;
         t.addRow({w.name, TextTable::ratio(h32.intMul),
                   TextTable::ratio(h32.fpMul),
                   TextTable::ratio(h32.fpDiv),

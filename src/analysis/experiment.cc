@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel.hh"
+#include "exec/trace_cache.hh"
 #include "img/generate.hh"
 
 namespace memo
@@ -45,10 +47,27 @@ traceSciWorkload(const SciWorkload &workload)
     return trace;
 }
 
+std::shared_ptr<const Trace>
+cachedMmKernelTrace(const MmKernel &kernel, const NamedImage &input,
+                    int max_dim)
+{
+    return exec::TraceCache::instance().get(
+        {kernel.name, input.name, max_dim},
+        [&] { return traceMmKernel(kernel, input.image, max_dim); });
+}
+
+std::shared_ptr<const Trace>
+cachedSciTrace(const SciWorkload &workload)
+{
+    return exec::TraceCache::instance().get(
+        {workload.name, "", 0},
+        [&] { return traceSciWorkload(workload); });
+}
+
 void
 replayMemo(const Trace &trace, MemoBank &bank)
 {
-    for (const Instruction &inst : trace.instructions()) {
+    for (const Instruction &inst : trace) {
         auto op = memoOperation(inst.cls);
         if (!op)
             continue;
@@ -90,12 +109,12 @@ measureMmKernel(const MmKernel &kernel, const MemoConfig &cfg,
 {
     MemoBank bank = MemoBank::standard(cfg);
     for (const auto &named : standardImages()) {
-        Trace trace = traceMmKernel(kernel, named.image, max_dim);
+        auto trace = cachedMmKernelTrace(kernel, named, max_dim);
         // Independent inputs: flush contents, pool the statistics.
         bank.table(Operation::IntMul)->flush();
         bank.table(Operation::FpMul)->flush();
         bank.table(Operation::FpDiv)->flush();
-        replayMemo(trace, bank);
+        replayMemo(*trace, bank);
     }
     return hitsOf(bank);
 }
@@ -114,35 +133,41 @@ UnitHits
 measureSci(const SciWorkload &workload, const MemoConfig &cfg)
 {
     MemoBank bank = MemoBank::standard(cfg);
-    Trace trace = traceSciWorkload(workload);
-    replayMemo(trace, bank);
+    auto trace = cachedSciTrace(workload);
+    replayMemo(*trace, bank);
     return hitsOf(bank);
 }
 
 std::vector<UnitHits>
 measureMmKernelConfigs(const MmKernel &kernel,
-                       const std::vector<MemoConfig> &cfgs, int max_dim)
+                       const std::vector<MemoConfig> &cfgs, int max_dim,
+                       unsigned jobs)
 {
-    std::vector<MemoBank> banks;
-    banks.reserve(cfgs.size());
-    for (const auto &cfg : cfgs)
-        banks.push_back(MemoBank::standard(cfg));
+    // Generate (or fetch) the shared traces up front, in parallel.
+    const auto &images = standardImages();
+    auto traces = exec::sweep(
+        images.size(),
+        [&](size_t i) {
+            return cachedMmKernelTrace(kernel, images[i], max_dim);
+        },
+        jobs);
 
-    for (const auto &named : standardImages()) {
-        Trace trace = traceMmKernel(kernel, named.image, max_dim);
-        for (auto &bank : banks) {
-            bank.table(Operation::IntMul)->flush();
-            bank.table(Operation::FpMul)->flush();
-            bank.table(Operation::FpDiv)->flush();
-            replayMemo(trace, bank);
-        }
-    }
-
-    std::vector<UnitHits> out;
-    out.reserve(banks.size());
-    for (const auto &bank : banks)
-        out.push_back(hitsOf(bank));
-    return out;
+    // One private bank per configuration; workers replay the shared
+    // immutable traces lock-free. Output slots are index-aligned with
+    // cfgs, so the result is identical for any thread count.
+    return exec::sweep(
+        cfgs.size(),
+        [&](size_t ci) {
+            MemoBank bank = MemoBank::standard(cfgs[ci]);
+            for (const auto &trace : traces) {
+                bank.table(Operation::IntMul)->flush();
+                bank.table(Operation::FpMul)->flush();
+                bank.table(Operation::FpDiv)->flush();
+                replayMemo(*trace, bank);
+            }
+            return hitsOf(bank);
+        },
+        jobs);
 }
 
 } // namespace memo

@@ -8,7 +8,10 @@
 #ifndef MEMO_ANALYSIS_EXPERIMENT_HH
 #define MEMO_ANALYSIS_EXPERIMENT_HH
 
+#include <memory>
+
 #include "core/bank.hh"
+#include "img/generate.hh"
 #include "img/image.hh"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
@@ -29,6 +32,20 @@ Trace traceMmKernel(const MmKernel &kernel, const Image &input,
 
 /** Record one scientific workload. */
 Trace traceSciWorkload(const SciWorkload &workload);
+
+/**
+ * Shared, cached trace of @p kernel over standard image @p input:
+ * the process-wide exec::TraceCache generates it at most once and all
+ * callers (including concurrent sweep workers) replay the same
+ * immutable instance.
+ */
+std::shared_ptr<const Trace>
+cachedMmKernelTrace(const MmKernel &kernel, const NamedImage &input,
+                    int max_dim = 128);
+
+/** Shared, cached trace of a scientific workload. */
+std::shared_ptr<const Trace>
+cachedSciTrace(const SciWorkload &workload);
 
 /** Feed every memoizable instruction of a trace through the bank. */
 void replayMemo(const Trace &trace, MemoBank &bank);
@@ -67,11 +84,16 @@ UnitHits measureSci(const SciWorkload &workload, const MemoConfig &cfg);
  * generating each (kernel, image) trace only once — the sweep benches'
  * workhorse (Figures 3/4, Tables 9/10 and the ablations).
  *
+ * Configurations are measured in parallel on up to @p jobs workers
+ * (0 = exec::ThreadPool::defaultJobs(), 1 = serial); each worker owns
+ * its MemoBank and replays the shared cached traces, so the returned
+ * vector is bit-identical for every thread count.
+ *
  * @return one UnitHits per configuration, index-aligned with @p cfgs
  */
 std::vector<UnitHits> measureMmKernelConfigs(
     const MmKernel &kernel, const std::vector<MemoConfig> &cfgs,
-    int max_dim = 128);
+    int max_dim = 128, unsigned jobs = 0);
 
 } // namespace memo
 

@@ -113,7 +113,7 @@ reuseProfile(const Trace &trace, Operation op, unsigned max_distance)
 
     // First pass: collect the access sequence.
     std::vector<std::pair<uint64_t, uint64_t>> keys;
-    for (const Instruction &inst : trace.instructions()) {
+    for (const Instruction &inst : trace) {
         if (inst.cls != want)
             continue;
         if (isTrivial(op, inst.a, inst.b))
@@ -160,7 +160,7 @@ hottestPairs(const Trace &trace, Operation op, size_t k)
     std::unordered_map<std::pair<uint64_t, uint64_t>, uint64_t,
                        PairHash>
         counts;
-    for (const Instruction &inst : trace.instructions()) {
+    for (const Instruction &inst : trace) {
         if (inst.cls != want)
             continue;
         if (isTrivial(op, inst.a, inst.b))

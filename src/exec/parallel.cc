@@ -1,0 +1,67 @@
+#include "parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <latch>
+#include <mutex>
+
+namespace memo::exec
+{
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body,
+            unsigned jobs)
+{
+    if (n == 0)
+        return;
+    if (jobs == 0)
+        jobs = ThreadPool::defaultJobs();
+    size_t runners = std::min<size_t>(jobs, n);
+
+    // Serial baseline: explicit single job, trivial loops, and nested
+    // parallelism (a pool worker waiting on the pool would deadlock).
+    if (runners <= 1 || ThreadPool::inWorker()) {
+        for (size_t i = 0; i < n; i++)
+            body(i);
+        return;
+    }
+
+    ThreadPool &pool = ThreadPool::shared();
+    runners = std::min<size_t>(runners, pool.size());
+    if (runners <= 1) {
+        for (size_t i = 0; i < n; i++)
+            body(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_m;
+    std::latch done(static_cast<ptrdiff_t>(runners));
+
+    auto runner = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                break;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(error_m);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        done.count_down();
+    };
+    for (size_t r = 0; r < runners; r++)
+        pool.submit(runner);
+    done.wait();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace memo::exec

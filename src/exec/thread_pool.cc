@@ -1,0 +1,102 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace memo::exec
+{
+
+namespace
+{
+
+thread_local bool in_worker = false;
+
+} // anonymous namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultJobs();
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; i++)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m);
+        stopping = true;
+    }
+    work_cv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(m);
+        queue.push_back(std::move(task));
+    }
+    work_cv.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(m);
+    idle_cv.wait(lk, [this] { return queue.empty() && active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    in_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(m);
+            work_cv.wait(lk,
+                         [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+            active++;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(m);
+            active--;
+        }
+        idle_cv.notify_all();
+    }
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("MEMO_JOBS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(std::max(defaultJobs(), 8u));
+    return pool;
+}
+
+bool
+ThreadPool::inWorker()
+{
+    return in_worker;
+}
+
+} // namespace memo::exec

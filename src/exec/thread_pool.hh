@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the experiment executor.
+ *
+ * The reproduction sweeps (Figures 3/4, Tables 9-13 and the extension
+ * ablations) are embarrassingly parallel: each (kernel, image, config)
+ * point replays an immutable trace through its own private MemoBank.
+ * A single process-wide pool, created lazily at its first use, serves
+ * every parallelFor()/sweep() call so thread creation is paid once per
+ * process instead of once per sweep.
+ */
+
+#ifndef MEMO_EXEC_THREAD_POOL_HH
+#define MEMO_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memo::exec
+{
+
+/** A fixed set of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 picks defaultJobs(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (fixed for the pool's lifetime). */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /** Enqueue @p task; it runs on some worker thread. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void wait();
+
+    /**
+     * The default parallelism: the MEMO_JOBS environment variable when
+     * set to a positive integer, otherwise hardware_concurrency()
+     * (minimum 1).
+     */
+    static unsigned defaultJobs();
+
+    /**
+     * The process-wide pool used by parallelFor()/sweep(). Sized at
+     * max(defaultJobs(), 8) so explicitly requested thread counts up
+     * to 8 get real concurrency even on small hosts (idle workers are
+     * parked and cost nothing).
+     */
+    static ThreadPool &shared();
+
+    /**
+     * True on a thread currently executing a pool task. Nested
+     * parallel constructs run inline in that case, which both avoids
+     * queue-wait deadlocks and keeps the work deterministic.
+     */
+    static bool inWorker();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex m;
+    std::condition_variable work_cv;  //!< queue became non-empty / stop
+    std::condition_variable idle_cv;  //!< a task finished / queue drained
+    size_t active = 0;                //!< tasks currently executing
+    bool stopping = false;
+};
+
+} // namespace memo::exec
+
+#endif // MEMO_EXEC_THREAD_POOL_HH

@@ -1,0 +1,108 @@
+#include "trace_cache.hh"
+
+#include <cstdlib>
+
+namespace memo::exec
+{
+
+namespace
+{
+
+size_t
+defaultBudget()
+{
+    if (const char *env = std::getenv("MEMO_TRACE_CACHE_MB")) {
+        long mb = std::atol(env);
+        if (mb > 0)
+            return static_cast<size_t>(mb) * 1024 * 1024;
+    }
+    return size_t{768} * 1024 * 1024;
+}
+
+} // anonymous namespace
+
+TraceCache::TraceCache(size_t budget_bytes)
+    : budget(budget_bytes ? budget_bytes : defaultBudget())
+{
+}
+
+TraceCache &
+TraceCache::instance()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+std::shared_ptr<const Trace>
+TraceCache::get(const TraceKey &key, const Generator &gen)
+{
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lk(m);
+        auto it = map.find(key);
+        if (it != map.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+        } else {
+            lru.emplace_front(key, std::make_shared<Slot>());
+            map[key] = lru.begin();
+        }
+        slot = lru.front().second;
+    }
+
+    // Generation runs outside the map lock: distinct keys generate
+    // concurrently, while a second requester of the same key blocks
+    // here until the first finishes.
+    std::lock_guard<std::mutex> sl(slot->m);
+    if (!slot->trace) {
+        slot->trace = std::make_shared<const Trace>(gen());
+        slot->bytes = slot->trace->memoryBytes();
+        generated_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(m);
+        totalBytes += slot->bytes;
+        evictOverBudget(slot);
+    } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return slot->trace;
+}
+
+void
+TraceCache::evictOverBudget(const std::shared_ptr<Slot> &keep)
+{
+    // Called with `m` held. Walk from the cold end; skip the entry
+    // just inserted and any still-generating (zero-byte) slots.
+    auto it = lru.end();
+    while (totalBytes > budget && it != lru.begin()) {
+        --it;
+        if (it->second == keep || it->second->bytes == 0)
+            continue;
+        totalBytes -= it->second->bytes;
+        map.erase(it->first);
+        it = lru.erase(it);
+    }
+}
+
+size_t
+TraceCache::entries() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return map.size();
+}
+
+size_t
+TraceCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return totalBytes;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lk(m);
+    map.clear();
+    lru.clear();
+    totalBytes = 0;
+}
+
+} // namespace memo::exec

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Process-wide cache of immutable, shared traces.
+ *
+ * Trace generation (running an instrumented kernel over an image) is
+ * the expensive, serial part of every reproduction harness, and the
+ * same (workload, image, crop) trace is needed by many measurement
+ * points: every table configuration of a sweep, every latency preset
+ * of the speedup tables, and both the baseline and memoized cycle
+ * runs. The cache generates each trace exactly once — concurrent
+ * requests for the same key block on a per-entry guard while one
+ * thread generates — and hands out shared read-only instances that
+ * every worker can replay lock-free.
+ *
+ * Entries are evicted least-recently-used once the cached bytes
+ * exceed a budget (default 768 MiB, override with the
+ * MEMO_TRACE_CACHE_MB environment variable); outstanding shared_ptr
+ * holders keep evicted traces alive, so eviction only ever costs a
+ * regeneration.
+ */
+
+#ifndef MEMO_EXEC_TRACE_CACHE_HH
+#define MEMO_EXEC_TRACE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "trace/trace.hh"
+
+namespace memo::exec
+{
+
+/** Identity of a cached trace. */
+struct TraceKey
+{
+    std::string workload; //!< kernel or scientific workload name
+    std::string image;    //!< input image name; empty for sci workloads
+    int crop = 0;         //!< centre-crop dimension; 0 when unused
+
+    bool
+    operator==(const TraceKey &o) const
+    {
+        return crop == o.crop && workload == o.workload &&
+               image == o.image;
+    }
+
+    struct Hash
+    {
+        size_t
+        operator()(const TraceKey &k) const
+        {
+            size_t h = std::hash<std::string>{}(k.workload);
+            h = h * 0x9e3779b97f4a7c15ull ^
+                std::hash<std::string>{}(k.image);
+            return h * 0x9e3779b97f4a7c15ull ^
+                   static_cast<size_t>(k.crop);
+        }
+    };
+};
+
+/** LRU-bounded map from TraceKey to a shared immutable Trace. */
+class TraceCache
+{
+  public:
+    using Generator = std::function<Trace()>;
+
+    /** @param budget_bytes 0 = default (env override / 768 MiB). */
+    explicit TraceCache(size_t budget_bytes = 0);
+
+    /** The process-wide instance used by the analysis helpers. */
+    static TraceCache &instance();
+
+    /**
+     * Return the trace for @p key, running @p gen to produce it if it
+     * is not cached. @p gen runs at most once per cached lifetime of
+     * the key, even under concurrent lookups.
+     */
+    std::shared_ptr<const Trace> get(const TraceKey &key,
+                                     const Generator &gen);
+
+    /** Number of resident entries. */
+    size_t entries() const;
+
+    /** Bytes held by resident traces. */
+    size_t residentBytes() const;
+
+    /** Times a generator was invoked. */
+    uint64_t generated() const { return generated_.load(); }
+
+    /** Lookups served from a resident entry. */
+    uint64_t hits() const { return hits_.load(); }
+
+    /** Drop every resident entry (shared holders stay valid). */
+    void clear();
+
+  private:
+    /** One cached trace; `m` serializes its (single) generation. */
+    struct Slot
+    {
+        std::mutex m;
+        std::shared_ptr<const Trace> trace;
+        size_t bytes = 0;
+    };
+
+    using LruList =
+        std::list<std::pair<TraceKey, std::shared_ptr<Slot>>>;
+
+    void evictOverBudget(const std::shared_ptr<Slot> &keep);
+
+    mutable std::mutex m;
+    LruList lru; //!< front = most recently used
+    std::unordered_map<TraceKey, LruList::iterator, TraceKey::Hash> map;
+    size_t totalBytes = 0;
+    size_t budget;
+    std::atomic<uint64_t> generated_{0};
+    std::atomic<uint64_t> hits_{0};
+};
+
+} // namespace memo::exec
+
+#endif // MEMO_EXEC_TRACE_CACHE_HH

@@ -7,6 +7,16 @@
 namespace memo
 {
 
+namespace
+{
+
+// Namespace-scope constant: the function-local `static const` it
+// replaces injected a guard check into the hot replay loop and was
+// shared mutable-init state once run() became concurrent.
+const EarlyOutIntMultiplier earlyOutMultiplier{};
+
+} // anonymous namespace
+
 CpuModel::CpuModel(const CpuConfig &cfg)
     : cfg(cfg)
 {
@@ -18,7 +28,7 @@ CpuModel::run(const Trace &trace, MemoBank *bank)
     SimResult res;
     MemoryHierarchy hier(cfg.l1, cfg.l2, cfg.memoryLatency);
 
-    for (const Instruction &inst : trace.instructions()) {
+    for (const Instruction &inst : trace) {
         unsigned cls_idx = static_cast<unsigned>(inst.cls);
         unsigned lat;
         switch (inst.cls) {
@@ -31,9 +41,9 @@ CpuModel::run(const Trace &trace, MemoBank *bank)
           default: {
             lat = cfg.lat[inst.cls];
             if (inst.cls == InstClass::IntMul && cfg.earlyOutIntMul) {
-                static const EarlyOutIntMultiplier eom;
-                lat = eom.multiply(static_cast<int64_t>(inst.a),
-                                   static_cast<int64_t>(inst.b))
+                lat = earlyOutMultiplier
+                          .multiply(static_cast<int64_t>(inst.a),
+                                    static_cast<int64_t>(inst.b))
                           .cycles;
             }
             auto op = memoOperation(inst.cls);

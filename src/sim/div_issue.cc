@@ -17,7 +17,7 @@ runDivIssue(const Trace &trace, DivEngine engine, unsigned div_latency,
     uint64_t free1 = 0;         // second divider (TwoDividers only)
     uint64_t last_complete = 0;
 
-    for (const Instruction &inst : trace.instructions()) {
+    for (const Instruction &inst : trace) {
         now++;
         if (inst.cls != InstClass::FpDiv) {
             last_complete = std::max(last_complete, now + 1);

@@ -25,7 +25,7 @@ InOrderPipeline::run(const Trace &trace, MemoBank *bank)
     uint64_t trans_free = 0;
     uint64_t mul_free = 0; // only used when the multiplier is serial
 
-    for (const Instruction &inst : trace.instructions()) {
+    for (const Instruction &inst : trace) {
         now++; // one issue slot per cycle
         uint64_t done = now;
 

@@ -98,7 +98,7 @@ writeTrace(const Trace &trace, std::ostream &out, bool compressed)
         DeltaState st;
         std::string buf;
         buf.reserve(trace.size() * 8);
-        for (const Instruction &inst : trace.instructions()) {
+        for (const Instruction &inst : trace) {
             unsigned c = static_cast<unsigned>(inst.cls);
             Instruction &prev = st.last[c];
             buf.push_back(static_cast<char>(c));
@@ -113,7 +113,7 @@ writeTrace(const Trace &trace, std::ostream &out, bool compressed)
                   static_cast<std::streamsize>(buf.size()));
     } else {
         std::array<unsigned char, recordBytes> rec;
-        for (const Instruction &inst : trace.instructions()) {
+        for (const Instruction &inst : trace) {
             rec[0] = static_cast<unsigned char>(inst.cls);
             putU32(rec.data() + 1, inst.pc);
             putU64(rec.data() + 5, inst.a);

@@ -30,6 +30,11 @@ fnv1a(const char *s)
 Recorder::Recorder(Trace &trace)
     : trace_(trace)
 {
+    // Kernels touch a handful of files but thousands of cache lines;
+    // pre-sizing the hash maps keeps recording from rehashing while a
+    // large trace streams through (bench_micro: BM_RecordKernelLoop).
+    fileHashes.reserve(16);
+    lineMap.reserve(1 << 12);
 }
 
 uint32_t

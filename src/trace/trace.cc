@@ -22,9 +22,11 @@ OpMix::fraction(InstClass cls) const
 OpMix
 Trace::mix() const
 {
+    // Stream the 1-byte class column instead of whole records.
     OpMix m;
-    for (const auto &inst : insts)
-        m[inst.cls]++;
+    std::vector<uint64_t> counts = store_.classCounts();
+    for (unsigned c = 0; c < numInstClasses; c++)
+        m.counts[c] = counts[c];
     return m;
 }
 

@@ -1,6 +1,11 @@
 /**
  * @file
  * Dynamic instruction trace container and summary statistics.
+ *
+ * The trace is backed by a compact structure-of-arrays TraceStore
+ * (see trace_store.hh); iteration and indexing materialize
+ * Instruction values on the fly, so replay loops stream far less
+ * memory than an array-of-structs layout would.
  */
 
 #ifndef MEMO_TRACE_TRACE_HH
@@ -8,9 +13,9 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "trace/instruction.hh"
+#include "trace/trace_store.hh"
 
 namespace memo
 {
@@ -43,23 +48,35 @@ struct OpMix
 class Trace
 {
   public:
+    using const_iterator = TraceStore::const_iterator;
+
     Trace() = default;
 
-    void reserve(size_t n) { insts.reserve(n); }
+    void reserve(size_t n) { store_.reserve(n); }
 
-    void push(const Instruction &inst) { insts.push_back(inst); }
+    void push(const Instruction &inst) { store_.push(inst); }
 
-    const std::vector<Instruction> &instructions() const { return insts; }
+    /** Materialize record @p i (fields unused by its class are 0). */
+    Instruction operator[](size_t i) const { return store_.get(i); }
 
-    size_t size() const { return insts.size(); }
-    bool empty() const { return insts.empty(); }
-    void clear() { insts.clear(); }
+    const_iterator begin() const { return store_.begin(); }
+    const_iterator end() const { return store_.end(); }
+
+    size_t size() const { return store_.size(); }
+    bool empty() const { return store_.empty(); }
+    void clear() { store_.clear(); }
+
+    /** Approximate bytes held by the trace data. */
+    size_t memoryBytes() const { return store_.memoryBytes(); }
+
+    /** The column store backing this trace. */
+    const TraceStore &store() const { return store_; }
 
     /** Count dynamic instructions per class. */
     OpMix mix() const;
 
   private:
-    std::vector<Instruction> insts;
+    TraceStore store_;
 };
 
 } // namespace memo

@@ -1,0 +1,15 @@
+#include "trace_store.hh"
+
+namespace memo
+{
+
+std::vector<uint64_t>
+TraceStore::classCounts() const
+{
+    std::vector<uint64_t> counts(numInstClasses, 0);
+    for (uint8_t c : cls_)
+        counts[c]++;
+    return counts;
+}
+
+} // namespace memo

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Compact structure-of-arrays storage for dynamic instruction traces.
+ *
+ * The AoS layout (vector<Instruction>, 40 bytes per record after
+ * padding) stores four 64-bit payload words for every instruction,
+ * but most of a trace is IntAlu/Branch (no payload at all) and
+ * Load/Store (address only). The store keeps per-instruction columns
+ * for the fields every record has — class, synthetic PC, and a payload
+ * index — and appends operand/result words or addresses to side
+ * columns only for the classes that use them:
+ *
+ *   IntAlu/Branch   9 bytes/record   (vs 40)
+ *   Load/Store     17 bytes/record   (vs 40)
+ *   mul/div/...    33 bytes/record   (vs 40)
+ *
+ * which streams ~2-3x less memory per instruction through the replay
+ * loops (CpuModel::run, replayMemo, OpMix counting). Iteration
+ * materializes lightweight Instruction values through a forward
+ * iterator, so replay code is written exactly as before.
+ *
+ * push() keeps only the fields meaningful for the instruction's
+ * class: operand/result words of non-computational classes and
+ * addresses of non-memory classes are dropped (the Recorder never
+ * sets them).
+ */
+
+#ifndef MEMO_TRACE_TRACE_STORE_HH
+#define MEMO_TRACE_TRACE_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace memo
+{
+
+/** Column-oriented trace storage; records are append-only. */
+class TraceStore
+{
+  public:
+    /** True for classes carrying operand/result payload words. */
+    static constexpr bool
+    hasOperands(InstClass cls)
+    {
+        switch (cls) {
+          case InstClass::IntMul:
+          case InstClass::FpAdd:
+          case InstClass::FpMul:
+          case InstClass::FpDiv:
+          case InstClass::FpSqrt:
+          case InstClass::FpLog:
+          case InstClass::FpSin:
+          case InstClass::FpCos:
+          case InstClass::FpExp:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True for classes carrying an effective address. */
+    static constexpr bool
+    hasAddress(InstClass cls)
+    {
+        return cls == InstClass::Load || cls == InstClass::Store;
+    }
+
+    void
+    push(const Instruction &inst)
+    {
+        cls_.push_back(static_cast<uint8_t>(inst.cls));
+        pc_.push_back(inst.pc);
+        if (hasOperands(inst.cls)) {
+            payload_.push_back(static_cast<uint32_t>(opA_.size()));
+            opA_.push_back(inst.a);
+            opB_.push_back(inst.b);
+            opRes_.push_back(inst.result);
+        } else if (hasAddress(inst.cls)) {
+            payload_.push_back(static_cast<uint32_t>(addr_.size()));
+            addr_.push_back(inst.addr);
+        } else {
+            payload_.push_back(0);
+        }
+    }
+
+    /** Materialize record @p i. */
+    Instruction
+    get(size_t i) const
+    {
+        Instruction inst;
+        inst.cls = static_cast<InstClass>(cls_[i]);
+        inst.pc = pc_[i];
+        if (hasOperands(inst.cls)) {
+            uint32_t p = payload_[i];
+            inst.a = opA_[p];
+            inst.b = opB_[p];
+            inst.result = opRes_[p];
+        } else if (hasAddress(inst.cls)) {
+            inst.addr = addr_[payload_[i]];
+        }
+        return inst;
+    }
+
+    size_t size() const { return cls_.size(); }
+    bool empty() const { return cls_.empty(); }
+
+    void
+    clear()
+    {
+        cls_.clear();
+        pc_.clear();
+        payload_.clear();
+        opA_.clear();
+        opB_.clear();
+        opRes_.clear();
+        addr_.clear();
+    }
+
+    /**
+     * Reserve for @p n records. The side columns are sized by the
+     * given fractions of n (defaults match a typical kernel mix of
+     * roughly one-third computational and one-third memory records).
+     */
+    void
+    reserve(size_t n, double op_fraction = 0.4,
+            double mem_fraction = 0.4)
+    {
+        cls_.reserve(n);
+        pc_.reserve(n);
+        payload_.reserve(n);
+        size_t ops = static_cast<size_t>(n * op_fraction);
+        opA_.reserve(ops);
+        opB_.reserve(ops);
+        opRes_.reserve(ops);
+        addr_.reserve(static_cast<size_t>(n * mem_fraction));
+    }
+
+    /** Bytes held by the record data (excluding slack capacity). */
+    size_t
+    memoryBytes() const
+    {
+        return cls_.size() * (sizeof(uint8_t) + sizeof(uint32_t) * 2) +
+               opA_.size() * sizeof(uint64_t) * 3 +
+               addr_.size() * sizeof(uint64_t);
+    }
+
+    /** Per-class record counts, computed from the class column. */
+    std::vector<uint64_t> classCounts() const;
+
+    /** Forward iterator materializing Instruction values. */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Instruction;
+        using difference_type = ptrdiff_t;
+        using pointer = const Instruction *;
+        using reference = Instruction;
+
+        const_iterator() = default;
+        const_iterator(const TraceStore *s, size_t i)
+            : store(s), idx(i)
+        {
+        }
+
+        Instruction operator*() const { return store->get(idx); }
+
+        const_iterator &
+        operator++()
+        {
+            idx++;
+            return *this;
+        }
+
+        const_iterator
+        operator++(int)
+        {
+            const_iterator tmp = *this;
+            idx++;
+            return tmp;
+        }
+
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return idx == o.idx;
+        }
+
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return idx != o.idx;
+        }
+
+      private:
+        const TraceStore *store = nullptr;
+        size_t idx = 0;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size()}; }
+
+  private:
+    // Per-record columns.
+    std::vector<uint8_t> cls_;
+    std::vector<uint32_t> pc_;
+    std::vector<uint32_t> payload_; //!< index into opA_/opB_/opRes_ or addr_
+
+    // Side columns, indexed by payload_.
+    std::vector<uint64_t> opA_;
+    std::vector<uint64_t> opB_;
+    std::vector<uint64_t> opRes_;
+    std::vector<uint64_t> addr_;
+};
+
+} // namespace memo
+
+#endif // MEMO_TRACE_TRACE_STORE_HH

@@ -113,7 +113,7 @@ TEST(Reuse, PredictionMatchesFullyAssociativeSimulation)
         cfg.entries = entries;
         cfg.ways = entries; // fully associative LRU
         MemoTable table(Operation::FpDiv, cfg);
-        for (const auto &inst : trace.instructions()) {
+        for (const auto &inst : trace) {
             if (inst.cls != InstClass::FpDiv)
                 continue;
             if (!table.lookup(inst.a, inst.b))

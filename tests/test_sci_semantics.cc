@@ -26,7 +26,7 @@ TEST(SciSemantics, QcdOperandPairsNeverRepeat)
     Recorder rec(trace);
     runQcd(rec);
     std::vector<std::pair<uint64_t, uint64_t>> pairs;
-    for (const auto &inst : trace.instructions())
+    for (const auto &inst : trace)
         if (inst.cls == InstClass::FpMul)
             pairs.emplace_back(inst.a, inst.b);
     ASSERT_GT(pairs.size(), 1000u);
@@ -45,7 +45,7 @@ TEST(SciSemantics, Hydro2dStateStaysQuantized)
     Recorder rec(trace);
     runHydro2d(rec);
     std::vector<double> divisors;
-    for (const auto &inst : trace.instructions())
+    for (const auto &inst : trace)
         if (inst.cls == InstClass::FpDiv)
             divisors.push_back(fpFromBits(inst.b));
     ASSERT_GT(divisors.size(), 100u);
@@ -69,7 +69,7 @@ TEST(SciSemantics, TrackVariancesConverge)
     Recorder rec(trace);
     runTrack(rec);
     std::vector<double> divisors;
-    for (const auto &inst : trace.instructions())
+    for (const auto &inst : trace)
         if (inst.cls == InstClass::FpDiv)
             divisors.push_back(fpFromBits(inst.b));
     ASSERT_GT(divisors.size(), 2000u);
@@ -92,7 +92,7 @@ TEST(SciSemantics, OceanDivisorsAreStaticDepths)
     Recorder rec(trace);
     runOcean(rec);
     std::vector<double> divisors;
-    for (const auto &inst : trace.instructions())
+    for (const auto &inst : trace)
         if (inst.cls == InstClass::FpDiv)
             divisors.push_back(fpFromBits(inst.b));
     size_t cells = 38 * 38; // interior cells per sweep
@@ -109,7 +109,7 @@ TEST(SciSemantics, TomcatvRelaxationReducesResidual)
     Recorder rec(trace);
     runTomcatv(rec);
     std::vector<double> w_values;
-    for (const auto &inst : trace.instructions()) {
+    for (const auto &inst : trace) {
         if (inst.cls != InstClass::FpMul)
             continue;
         if (fpFromBits(inst.a) == 0.45) // the relaxation-weight muls

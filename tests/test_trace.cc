@@ -59,7 +59,7 @@ TEST(Recorder, OperandsAndResultsRecorded)
     rec.div(10.0, 4.0);
 
     ASSERT_EQ(trace.size(), 1u);
-    const Instruction &inst = trace.instructions()[0];
+    const Instruction &inst = trace[0];
     EXPECT_EQ(inst.cls, InstClass::FpDiv);
     EXPECT_EQ(inst.a, fpBits(10.0));
     EXPECT_EQ(inst.b, fpBits(4.0));
@@ -79,11 +79,11 @@ TEST(Recorder, LoadStoreRecordAddresses)
     EXPECT_EQ(data[4], 9.0);
 
     ASSERT_EQ(trace.size(), 2u);
-    EXPECT_EQ(trace.instructions()[0].cls, InstClass::Load);
-    EXPECT_EQ(trace.instructions()[1].cls, InstClass::Store);
+    EXPECT_EQ(trace[0].cls, InstClass::Load);
+    EXPECT_EQ(trace[1].cls, InstClass::Store);
     // Same cache line (adjacent doubles): remapped line must agree.
-    EXPECT_EQ(trace.instructions()[0].addr >> 6,
-              trace.instructions()[1].addr >> 6);
+    EXPECT_EQ(trace[0].addr >> 6,
+              trace[1].addr >> 6);
 }
 
 TEST(Recorder, AddressRemappingIsFirstTouchOrdered)
@@ -97,7 +97,7 @@ TEST(Recorder, AddressRemappingIsFirstTouchOrdered)
     rec.load(data[32]); // line B (256 bytes away)
     rec.load(data[0]);  // line A again
 
-    auto addr = [&](int i) { return trace.instructions()[i].addr >> 6; };
+    auto addr = [&](int i) { return trace[i].addr >> 6; };
     EXPECT_EQ(addr(0), 0u);
     EXPECT_EQ(addr(1), static_cast<uint64_t>(
         (reinterpret_cast<uintptr_t>(&data[32]) >> 6) !=
@@ -113,10 +113,10 @@ TEST(Recorder, PcStablePerCallSite)
         rec.mul(1.5 + i, 2.0); // one call site
     rec.mul(9.0, 2.0);         // a different call site
 
-    uint32_t pc0 = trace.instructions()[0].pc;
-    EXPECT_EQ(trace.instructions()[1].pc, pc0);
-    EXPECT_EQ(trace.instructions()[2].pc, pc0);
-    EXPECT_NE(trace.instructions()[3].pc, pc0);
+    uint32_t pc0 = trace[0].pc;
+    EXPECT_EQ(trace[1].pc, pc0);
+    EXPECT_EQ(trace[2].pc, pc0);
+    EXPECT_NE(trace[3].pc, pc0);
 }
 
 TEST(Recorder, DeterministicAcrossRuns)
@@ -135,9 +135,9 @@ TEST(Recorder, DeterministicAcrossRuns)
     Trace t2 = make();
     ASSERT_EQ(t1.size(), t2.size());
     for (size_t i = 0; i < t1.size(); i++) {
-        EXPECT_EQ(t1.instructions()[i].addr, t2.instructions()[i].addr);
-        EXPECT_EQ(t1.instructions()[i].a, t2.instructions()[i].a);
-        EXPECT_EQ(t1.instructions()[i].pc, t2.instructions()[i].pc);
+        EXPECT_EQ(t1[i].addr, t2[i].addr);
+        EXPECT_EQ(t1[i].a, t2[i].a);
+        EXPECT_EQ(t1[i].pc, t2[i].pc);
     }
 }
 

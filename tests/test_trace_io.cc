@@ -59,8 +59,8 @@ expectEqualTraces(const Trace &original, const Trace &back)
 
     ASSERT_EQ(back.size(), original.size());
     for (size_t i = 0; i < original.size(); i++) {
-        const Instruction &a = original.instructions()[i];
-        const Instruction &b = back.instructions()[i];
+        const Instruction &a = original[i];
+        const Instruction &b = back[i];
         EXPECT_EQ(a.cls, b.cls) << i;
         EXPECT_EQ(a.pc, b.pc) << i;
         EXPECT_EQ(a.a, b.a) << i;

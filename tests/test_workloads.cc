@@ -67,10 +67,10 @@ TEST(MmKernels, TracesAreDeterministic)
         Trace t2 = traceMmKernel(kernel, input, 64);
         ASSERT_EQ(t1.size(), t2.size()) << kernel.name;
         for (size_t i = 0; i < t1.size(); i += 97) {
-            EXPECT_EQ(t1.instructions()[i].a, t2.instructions()[i].a)
+            EXPECT_EQ(t1[i].a, t2[i].a)
                 << kernel.name;
-            EXPECT_EQ(t1.instructions()[i].result,
-                      t2.instructions()[i].result)
+            EXPECT_EQ(t1[i].result,
+                      t2[i].result)
                 << kernel.name;
         }
     }
@@ -98,7 +98,7 @@ TEST(SciWorkloads, MemoizableOpsCarryConsistentResults)
     // its recorded operands: the property the memo simulator relies on.
     for (const auto &w : perfectWorkloads()) {
         Trace trace = traceSciWorkload(w);
-        for (const auto &inst : trace.instructions()) {
+        for (const auto &inst : trace) {
             if (inst.cls == InstClass::FpMul) {
                 double a = fpFromBits(inst.a), b = fpFromBits(inst.b);
                 EXPECT_EQ(fpBits(a * b), inst.result) << w.name;

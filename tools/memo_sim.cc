@@ -29,6 +29,7 @@
 #include "analysis/reuse.hh"
 #include "arith/fp.hh"
 #include "analysis/table.hh"
+#include "exec/parallel.hh"
 #include "img/generate.hh"
 #include "img/pnm.hh"
 #include "sim/cpu.hh"
@@ -51,6 +52,7 @@ struct Options
     std::string statsFile;
     MemoConfig table;
     int crop = 128;
+    unsigned jobs = 0; //!< 0 = hardware_concurrency (default)
     bool csv = false;
     bool opmix = false;
     bool reuse = false;
@@ -80,6 +82,10 @@ usage()
         "processor:\n"
         "  --preset fast|slow|pentiumpro|alpha21164|r10000|ppc604e|\n"
         "           ultrasparc2|pa8000\n\n"
+        "execution:\n"
+        "  --jobs N            worker threads for the model runs\n"
+        "                      (default: hardware concurrency; 1 = "
+        "serial)\n\n"
         "output & traces:\n"
         "  --csv               machine-readable output\n"
         "  --opmix             print the instruction-class mix\n"
@@ -178,6 +184,11 @@ parseArgs(int argc, char **argv)
                                        : HashScheme::Additive;
         } else if (a == "--preset") {
             opt.preset = need(i);
+        } else if (a == "--jobs") {
+            int n = std::atoi(need(i).c_str());
+            if (n <= 0)
+                throw std::runtime_error("--jobs needs a positive N");
+            opt.jobs = static_cast<unsigned>(n);
         } else if (a == "--csv") {
             opt.csv = true;
         } else if (a == "--opmix") {
@@ -352,7 +363,20 @@ main(int argc, char **argv)
         CpuConfig cpu_cfg;
         cpu_cfg.lat = LatencyConfig::preset(parsePreset(opt.preset));
         CpuModel cpu(cpu_cfg);
-        SimResult base = cpu.run(trace);
+
+        // The baseline and memoized replays are independent; run them
+        // as two executor jobs (--jobs 1 forces the serial path).
+        SimResult base, memo;
+        MemoBank bank = MemoBank::standard(opt.table);
+        exec::parallelFor(
+            opt.noMemo ? 1 : 2,
+            [&](size_t i) {
+                if (i == 0)
+                    base = cpu.run(trace);
+                else
+                    memo = cpu.run(trace, &bank);
+            },
+            opt.jobs);
 
         TextTable t({"metric", "value"});
         t.addRow({"instructions", TextTable::count(trace.size())});
@@ -363,8 +387,6 @@ main(int argc, char **argv)
         t.addRow({"L2 hit ratio", TextTable::ratio(base.l2.hitRatio())});
 
         if (!opt.noMemo) {
-            MemoBank bank = MemoBank::standard(opt.table);
-            SimResult memo = cpu.run(trace, &bank);
             t.addRow({"MEMO-TABLE", opt.table.describe()});
             t.addRow({"memoized cycles",
                       TextTable::count(memo.totalCycles)});
@@ -394,9 +416,9 @@ main(int argc, char **argv)
                   << "baseline_cycles=" << base.totalCycles << "\n"
                   << "l1_hit_ratio=" << base.l1.hitRatio() << "\n"
                   << "l2_hit_ratio=" << base.l2.hitRatio() << "\n";
+            // Reuse the already-computed results instead of replaying
+            // the trace a third time.
             if (!opt.noMemo) {
-                MemoBank bank = MemoBank::standard(opt.table);
-                SimResult memo = cpu.run(trace, &bank);
                 stats << "memo_cycles=" << memo.totalCycles << "\n"
                       << "speedup="
                       << static_cast<double>(base.totalCycles) /

@@ -92,7 +92,7 @@ main(int argc, char **argv)
         std::printf("\nfirst %zu records:\n",
                     std::min(count, trace.size()));
         for (size_t i = 0; i < trace.size() && i < count; i++)
-            printRecord(i, trace.instructions()[i]);
+            printRecord(i, trace[i]);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "memo-trace-dump: %s\n", e.what());
