@@ -5,62 +5,26 @@
  * size (8..8192 entries, 4-way associative), with min/avg/max.
  */
 
-#include <algorithm>
 #include <iostream>
 
 #include "common.hh"
-#include "exec/parallel.hh"
 
 using namespace memo;
 
 namespace
 {
 
-const std::vector<unsigned> sizes = {8u, 16u, 32u, 64u, 128u, 256u,
-                                     512u, 1024u, 2048u, 4096u,
-                                     8192u};
-
-/** hits[kernel][size] for both units, traces generated once. */
-std::vector<std::vector<UnitHits>>
-sweepAll()
-{
-    std::vector<MemoConfig> cfgs;
-    for (unsigned entries : sizes) {
-        MemoConfig cfg;
-        cfg.entries = entries;
-        cfg.ways = 4;
-        cfgs.push_back(cfg);
-    }
-    // Kernels fan out across the executor; the per-kernel config
-    // sweep runs inline inside each worker.
-    return exec::sweep(sweepKernelNames(), [&](const std::string &n) {
-        return measureMmKernelConfigs(mmKernelByName(n), cfgs,
-                                      bench::benchCrop);
-    });
-}
-
 void
-printUnit(const char *title,
-          const std::vector<std::vector<UnitHits>> &all, bool div_unit)
+printUnit(const char *title, const std::vector<unsigned> &sizes,
+          const std::vector<check::BandRow> &rows)
 {
     std::cout << title << "\n";
     TextTable t({"entries", "avg", "min", "max"});
     for (size_t s = 0; s < sizes.size(); s++) {
-        double sum = 0.0, lo = 1.0, hi = 0.0;
-        int n = 0;
-        for (const auto &per_kernel : all) {
-            double hr = div_unit ? per_kernel[s].fpDiv
-                                 : per_kernel[s].fpMul;
-            if (hr < 0)
-                continue;
-            sum += hr;
-            lo = std::min(lo, hr);
-            hi = std::max(hi, hr);
-            n++;
-        }
         t.addRow({TextTable::count(sizes[s]),
-                  TextTable::ratio(sum / n), TextTable::ratio(lo),
-                  TextTable::ratio(hi)});
+                  TextTable::ratio(rows[s].avg),
+                  TextTable::ratio(rows[s].lo),
+                  TextTable::ratio(rows[s].hi)});
     }
     t.print(std::cout);
     std::cout << "\n";
@@ -74,9 +38,17 @@ main()
     bench::printHeader("Hit ratio vs MEMO-TABLE size (4-way; vcost, "
                        "venhance, vgpwl, vspatial, vsurf)",
                        "Figure 3");
-    auto all = sweepAll();
-    printUnit("fp division:", all, true);
-    printUnit("fp multiplication:", all, false);
+    // Shared with the fig3 golden snapshot (src/check/golden.hh).
+    std::vector<MemoConfig> cfgs;
+    for (unsigned entries : check::fig3Sizes()) {
+        MemoConfig cfg;
+        cfg.entries = entries;
+        cfg.ways = 4;
+        cfgs.push_back(cfg);
+    }
+    check::SweepBands bands = check::measureSweepBands(cfgs);
+    printUnit("fp division:", check::fig3Sizes(), bands.fpDiv);
+    printUnit("fp multiplication:", check::fig3Sizes(), bands.fpMul);
     std::cout << "Shape to check: the curves rise steeply up to a few "
                  "hundred entries and\nflatten around 1024; division "
                  "saturates at smaller tables than\nmultiplication "

@@ -5,57 +5,26 @@
  * entries), with min/avg/max.
  */
 
-#include <algorithm>
 #include <iostream>
 
 #include "common.hh"
-#include "exec/parallel.hh"
 
 using namespace memo;
 
 namespace
 {
 
-const std::vector<unsigned> assocs = {1u, 2u, 4u, 8u};
-
-std::vector<std::vector<UnitHits>>
-sweepAll()
-{
-    std::vector<MemoConfig> cfgs;
-    for (unsigned ways : assocs) {
-        MemoConfig cfg;
-        cfg.entries = 32;
-        cfg.ways = ways;
-        cfgs.push_back(cfg);
-    }
-    return exec::sweep(sweepKernelNames(), [&](const std::string &n) {
-        return measureMmKernelConfigs(mmKernelByName(n), cfgs,
-                                      bench::benchCrop);
-    });
-}
-
 void
-printUnit(const char *title,
-          const std::vector<std::vector<UnitHits>> &all, bool div_unit)
+printUnit(const char *title, const std::vector<unsigned> &assocs,
+          const std::vector<check::BandRow> &rows)
 {
     std::cout << title << "\n";
     TextTable t({"ways", "avg", "min", "max"});
     for (size_t s = 0; s < assocs.size(); s++) {
-        double sum = 0.0, lo = 1.0, hi = 0.0;
-        int n = 0;
-        for (const auto &per_kernel : all) {
-            double hr = div_unit ? per_kernel[s].fpDiv
-                                 : per_kernel[s].fpMul;
-            if (hr < 0)
-                continue;
-            sum += hr;
-            lo = std::min(lo, hr);
-            hi = std::max(hi, hr);
-            n++;
-        }
         t.addRow({TextTable::count(assocs[s]),
-                  TextTable::ratio(sum / n), TextTable::ratio(lo),
-                  TextTable::ratio(hi)});
+                  TextTable::ratio(rows[s].avg),
+                  TextTable::ratio(rows[s].lo),
+                  TextTable::ratio(rows[s].hi)});
     }
     t.print(std::cout);
     std::cout << "\n";
@@ -69,9 +38,17 @@ main()
     bench::printHeader("Hit ratio vs LUT associativity (32 entries; "
                        "vcost, venhance, vgpwl, vspatial, vsurf)",
                        "Figure 4");
-    auto all = sweepAll();
-    printUnit("fp division:", all, true);
-    printUnit("fp multiplication:", all, false);
+    // Shared with the fig4 golden snapshot (src/check/golden.hh).
+    std::vector<MemoConfig> cfgs;
+    for (unsigned ways : check::fig4Ways()) {
+        MemoConfig cfg;
+        cfg.entries = 32;
+        cfg.ways = ways;
+        cfgs.push_back(cfg);
+    }
+    check::SweepBands bands = check::measureSweepBands(cfgs);
+    printUnit("fp division:", check::fig4Ways(), bands.fpDiv);
+    printUnit("fp multiplication:", check::fig4Ways(), bands.fpMul);
     std::cout << "Shape to check: conflict misses hurt the direct-"
                  "mapped table; a set size of\n2 largely fixes "
                  "division, and beyond 4 ways there is little gain.\n";

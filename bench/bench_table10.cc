@@ -8,79 +8,8 @@
 #include <iostream>
 
 #include "common.hh"
-#include "exec/parallel.hh"
 
 using namespace memo;
-
-namespace
-{
-
-struct SuiteAvg
-{
-    double fpMul = 0.0;
-    double fpDiv = 0.0;
-};
-
-void
-averagesMm(const MemoConfig &full, const MemoConfig &mant,
-           SuiteAvg &out_full, SuiteAvg &out_mant)
-{
-    // Fan the kernels out across the executor; reduce in kernel order.
-    auto per_kernel =
-        exec::sweep(mmKernels(), [&](const MmKernel &k) {
-            if (k.name == "vsqrt")
-                return std::vector<UnitHits>{};
-            return measureMmKernelConfigs(k, {full, mant},
-                                          bench::benchCrop);
-        });
-
-    int nm = 0, nd = 0;
-    for (const auto &hits : per_kernel) {
-        if (hits.empty())
-            continue;
-        if (hits[0].fpMul >= 0) {
-            out_full.fpMul += hits[0].fpMul;
-            out_mant.fpMul += hits[1].fpMul;
-            nm++;
-        }
-        if (hits[0].fpDiv >= 0) {
-            out_full.fpDiv += hits[0].fpDiv;
-            out_mant.fpDiv += hits[1].fpDiv;
-            nd++;
-        }
-    }
-    out_full.fpMul /= nm;
-    out_mant.fpMul /= nm;
-    out_full.fpDiv /= nd;
-    out_mant.fpDiv /= nd;
-}
-
-SuiteAvg
-averagePerfect(const MemoConfig &cfg)
-{
-    auto per_workload =
-        exec::sweep(perfectWorkloads(), [&](const SciWorkload &w) {
-            return measureSci(w, cfg);
-        });
-
-    SuiteAvg avg;
-    int nm = 0, nd = 0;
-    for (const UnitHits &h : per_workload) {
-        if (h.fpMul >= 0) {
-            avg.fpMul += h.fpMul;
-            nm++;
-        }
-        if (h.fpDiv >= 0) {
-            avg.fpDiv += h.fpDiv;
-            nd++;
-        }
-    }
-    avg.fpMul /= nm;
-    avg.fpDiv /= nd;
-    return avg;
-}
-
-} // anonymous namespace
 
 int
 main()
@@ -89,26 +18,20 @@ main()
                        "averages)",
                        "Table 10");
 
-    MemoConfig full;
-    MemoConfig mant;
-    mant.tagMode = TagMode::MantissaOnly;
-
-    SuiteAvg perfect_full = averagePerfect(full);
-    SuiteAvg perfect_mant = averagePerfect(mant);
-    SuiteAvg mm_full, mm_mant;
-    averagesMm(full, mant, mm_full, mm_mant);
+    // Shared with the table10 golden snapshot (src/check/golden.hh).
+    check::TagModeResult r = check::measureTagModes();
 
     TextTable t({"suite", "fp mult full", "fp mult mant",
                  "fp div full", "fp div mant", "paper (mf/mm/df/dm)"});
-    t.addRow({"Perfect", TextTable::ratio(perfect_full.fpMul),
-              TextTable::ratio(perfect_mant.fpMul),
-              TextTable::ratio(perfect_full.fpDiv),
-              TextTable::ratio(perfect_mant.fpDiv),
+    t.addRow({"Perfect", TextTable::ratio(r.perfectFull.fpMul),
+              TextTable::ratio(r.perfectMant.fpMul),
+              TextTable::ratio(r.perfectFull.fpDiv),
+              TextTable::ratio(r.perfectMant.fpDiv),
               ".11/.11/.16/.17"});
-    t.addRow({"Multi-Media", TextTable::ratio(mm_full.fpMul),
-              TextTable::ratio(mm_mant.fpMul),
-              TextTable::ratio(mm_full.fpDiv),
-              TextTable::ratio(mm_mant.fpDiv), ".39/.43/.47/.50"});
+    t.addRow({"Multi-Media", TextTable::ratio(r.mmFull.fpMul),
+              TextTable::ratio(r.mmMant.fpMul),
+              TextTable::ratio(r.mmFull.fpDiv),
+              TextTable::ratio(r.mmMant.fpDiv), ".39/.43/.47/.50"});
     t.print(std::cout);
 
     std::cout << "\nShape to check: mantissa-only tags raise hit "

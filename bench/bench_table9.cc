@@ -17,42 +17,9 @@ using namespace memo;
 namespace
 {
 
-struct ModeRow
-{
-    double trv = -1.0;
-    double all = -1.0;
-    double non = -1.0;
-    double intgr = -1.0;
-};
-
-/** Measure one unit's Table 9 row for one kernel. */
-ModeRow
-measure(const MmKernel &k, Operation op)
-{
-    ModeRow row;
-    double *slots[3] = {&row.all, &row.non, &row.intgr};
-    TrivialMode modes[3] = {TrivialMode::CacheAll,
-                            TrivialMode::NonTrivialOnly,
-                            TrivialMode::Integrated};
-    for (int m = 0; m < 3; m++) {
-        MemoConfig cfg;
-        cfg.trivialMode = modes[m];
-        MemoBank bank = MemoBank::standard(cfg);
-        for (const auto &ni : standardImages()) {
-            auto trace = cachedMmKernelTrace(k, ni, bench::benchCrop);
-            bank.table(op)->flush();
-            replayMemo(*trace, bank);
-        }
-        const MemoStats &s = bank.table(op)->stats();
-        if (s.lookups)
-            *slots[m] = s.hitRatio();
-        if (m == 1) // NonTrivialOnly also yields the trivial fraction
-            row.trv = s.lookups + s.trivialBypassed
-                          ? s.trivialFraction()
-                          : -1.0;
-    }
-    return row;
-}
+// The measurement itself (check::measureTrivialModes) is shared with
+// the table9 golden snapshot; this binary only renders it.
+using ModeRow = check::TrivialModeRow;
 
 /** All three units' rows for one application. */
 struct AppRows
@@ -69,10 +36,7 @@ main()
                        "ratios all/non/intgr)",
                        "Table 9");
 
-    const std::vector<std::string> apps = {
-        "vdiff", "vcost", "vgauss", "vspatial",
-        "vslope", "vgef", "vdetilt", "venhance",
-    };
+    const std::vector<std::string> &apps = check::table9Apps();
 
     TextTable t({"application", "im trv", "im all", "im non",
                  "im intgr", "fm trv", "fm all", "fm non", "fm intgr",
@@ -81,9 +45,10 @@ main()
     // cache, so each (app, image) pair is recorded exactly once.
     auto rows = exec::sweep(apps, [](const std::string &name) {
         const MmKernel &k = mmKernelByName(name);
-        return AppRows{measure(k, Operation::IntMul),
-                       measure(k, Operation::FpMul),
-                       measure(k, Operation::FpDiv)};
+        return AppRows{
+            check::measureTrivialModes(k, Operation::IntMul),
+            check::measureTrivialModes(k, Operation::FpMul),
+            check::measureTrivialModes(k, Operation::FpDiv)};
     });
 
     for (size_t ai = 0; ai < apps.size(); ai++) {

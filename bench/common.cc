@@ -2,7 +2,6 @@
 
 #include <iostream>
 
-#include "exec/parallel.hh"
 #include "img/generate.hh"
 
 namespace memo::bench
@@ -74,30 +73,18 @@ printHeader(const std::string &title, const std::string &paper_ref)
 void
 printSciSuite(const std::vector<SciWorkload> &suite)
 {
-    MemoConfig c32;
-    MemoConfig cinf;
-    cinf.infinite = true;
+    // The measurement (parallel fan-out, pooled averages) lives in the
+    // golden layer so the snapshots diff exactly what we print here.
+    check::SciSuiteResult r = check::measureSciSuite(suite);
 
     TextTable t({"application", "int mult", "fp mult", "fp div",
                  "int mult inf", "fp mult inf", "fp div inf",
                  "paper 32 (i/m/d)", "paper inf (i/m/d)"});
 
-    // Measure the suite in parallel (two index-aligned result slots
-    // per workload), then reduce and print in suite order.
-    struct Pair
-    {
-        UnitHits h32, hinf;
-    };
-    auto rows = exec::sweep(suite, [&](const SciWorkload &w) {
-        return Pair{measureSci(w, c32), measureSci(w, cinf)};
-    });
-
-    double s32[3] = {}, sinf[3] = {};
-    int n32[3] = {}, ninf[3] = {};
     for (size_t wi = 0; wi < suite.size(); wi++) {
         const SciWorkload &w = suite[wi];
-        const UnitHits &h32 = rows[wi].h32;
-        const UnitHits &hinf = rows[wi].hinf;
+        const UnitHits &h32 = r.rows[wi].h32;
+        const UnitHits &hinf = r.rows[wi].hinf;
         t.addRow({w.name, TextTable::ratio(h32.intMul),
                   TextTable::ratio(h32.fpMul),
                   TextTable::ratio(h32.fpDiv),
@@ -110,26 +97,13 @@ printSciSuite(const std::vector<SciWorkload> &suite)
                   TextTable::ratio(w.paper.intMulInf) + "/" +
                       TextTable::ratio(w.paper.fpMulInf) + "/" +
                       TextTable::ratio(w.paper.fpDivInf)});
-        double h32v[3] = {h32.intMul, h32.fpMul, h32.fpDiv};
-        double hinfv[3] = {hinf.intMul, hinf.fpMul, hinf.fpDiv};
-        for (int k = 0; k < 3; k++) {
-            if (h32v[k] >= 0) {
-                s32[k] += h32v[k];
-                n32[k]++;
-            }
-            if (hinfv[k] >= 0) {
-                sinf[k] += hinfv[k];
-                ninf[k]++;
-            }
-        }
     }
-    auto avg = [](double s, int n) { return n ? s / n : -1.0; };
-    t.addRow({"average", TextTable::ratio(avg(s32[0], n32[0])),
-              TextTable::ratio(avg(s32[1], n32[1])),
-              TextTable::ratio(avg(s32[2], n32[2])),
-              TextTable::ratio(avg(sinf[0], ninf[0])),
-              TextTable::ratio(avg(sinf[1], ninf[1])),
-              TextTable::ratio(avg(sinf[2], ninf[2])), "", ""});
+    t.addRow({"average", TextTable::ratio(r.avg32.intMul),
+              TextTable::ratio(r.avg32.fpMul),
+              TextTable::ratio(r.avg32.fpDiv),
+              TextTable::ratio(r.avgInf.intMul),
+              TextTable::ratio(r.avgInf.fpMul),
+              TextTable::ratio(r.avgInf.fpDiv), "", ""});
     t.print(std::cout);
 }
 

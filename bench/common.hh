@@ -10,16 +10,21 @@
 #include <vector>
 
 #include "analysis/experiment.hh"
-#include "img/generate.hh"
 #include "analysis/table.hh"
+#include "check/golden.hh"
+#include "img/generate.hh"
 #include "sim/cpu.hh"
 #include "workloads/workload.hh"
 
 namespace memo::bench
 {
 
-/** Crop size used by all hit-ratio benches (see DESIGN.md). */
-constexpr int benchCrop = 96;
+/**
+ * Crop size used by all hit-ratio benches: the golden regression
+ * snapshots (src/check/golden.hh) measure with the same crop, so the
+ * benches and the goldens report identical numbers.
+ */
+constexpr int benchCrop = check::goldenCrop;
 
 /** The nine applications of the speedup tables (Tables 11-13). */
 const std::vector<std::string> &speedupApps();

@@ -85,6 +85,15 @@ fpIsZero(double v)
     return (fpBits(v) & ~(uint64_t{1} << 63)) == 0;
 }
 
+/** True iff the bit pattern encodes a NaN (any payload). */
+inline bool
+fpIsNaNBits(uint64_t bits)
+{
+    constexpr uint64_t frac_mask = (uint64_t{1} << fpMantissaBits) - 1;
+    return ((bits >> fpMantissaBits) & 0x7ff) == 0x7ff &&
+           (bits & frac_mask) != 0;
+}
+
 /**
  * Compose a double from fields.
  *

@@ -69,10 +69,16 @@ trivialIntMul(int64_t a, int64_t b, bool extended)
     if (b == 1)
         return TrivialInt{TrivialKind::MulByOne, a};
     if (extended) {
+        // Negate through uint64: -INT64_MIN overflows int64 (UB), but
+        // the unit's wrap-around product of x * -1 is well defined.
         if (a == -1)
-            return TrivialInt{TrivialKind::MulByNegOne, -b};
+            return TrivialInt{
+                TrivialKind::MulByNegOne,
+                static_cast<int64_t>(-static_cast<uint64_t>(b))};
         if (b == -1)
-            return TrivialInt{TrivialKind::MulByNegOne, -a};
+            return TrivialInt{
+                TrivialKind::MulByNegOne,
+                static_cast<int64_t>(-static_cast<uint64_t>(a))};
     }
     return std::nullopt;
 }

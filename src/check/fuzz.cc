@@ -1,0 +1,709 @@
+#include "fuzz.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "arith/fp.hh"
+#include "check/differ.hh"
+#include "core/bank.hh"
+#include "sim/cpu.hh"
+#include "trace/trace.hh"
+
+namespace memo::check
+{
+
+namespace
+{
+
+constexpr uint64_t fracMask = (uint64_t{1} << fpMantissaBits) - 1;
+constexpr uint64_t signBit = uint64_t{1} << 63;
+
+/** Derive an independent per-case RNG from the campaign seed. */
+FuzzRng
+caseRng(uint64_t seed, uint64_t case_index)
+{
+    uint64_t z = seed + case_index * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 30)) * 0x94d049bb133111ebULL;
+    return FuzzRng(z ^ (z >> 31));
+}
+
+/** Small bounded pool of previously seen values, to force reuse. */
+class ValuePool
+{
+  public:
+    bool empty() const { return values.empty(); }
+
+    uint64_t
+    pick(FuzzRng &rng) const
+    {
+        return values[rng.below(values.size())];
+    }
+
+    void
+    remember(FuzzRng &rng, uint64_t v)
+    {
+        if (values.size() < 48)
+            values.push_back(v);
+        else
+            values[rng.below(values.size())] = v;
+    }
+
+  private:
+    std::vector<uint64_t> values;
+};
+
+/**
+ * An adversarial double, as raw bits: trivial operands, NaN payloads,
+ * infinities, denormals, extreme exponents, and mutations of pooled
+ * values that alias in tags (top-bit flips), mantissa-mode keys (same
+ * fraction, new exponent) or sign.
+ */
+uint64_t
+fuzzDoubleBits(FuzzRng &rng, ValuePool &pool)
+{
+    if (!pool.empty() && rng.chance(2, 5)) {
+        uint64_t v = pool.pick(rng);
+        switch (rng.below(4)) {
+          case 0:
+            return v; // exact reuse: the hit path
+          case 1: {
+            // High-bit alias: same low 48 bits, different top 16 —
+            // bait for broken tag comparators (mutation self-test).
+            uint64_t m = (rng.next() | 1) << 48;
+            uint64_t w = v ^ m;
+            pool.remember(rng, w);
+            return w;
+          }
+          case 2: {
+            // Same mantissa, different exponent: collides under
+            // mantissa-only tags but must reconstruct correctly.
+            uint64_t e = 1 + rng.below(2046);
+            uint64_t w = (v & (signBit | fracMask)) | (e << 52);
+            pool.remember(rng, w);
+            return w;
+          }
+          default:
+            return v ^ signBit; // sign flip
+        }
+    }
+
+    uint64_t v;
+    switch (rng.below(8)) {
+      case 0: {
+        // Trivial and near-trivial constants.
+        static constexpr double k[] = {0.0, -0.0, 1.0, -1.0,
+                                       2.0, 0.5,  4.0, -2.0};
+        v = fpBits(k[rng.below(8)]);
+        break;
+      }
+      case 1: {
+        // NaN with a random (mostly quiet) payload.
+        uint64_t payload = rng.next() & fracMask;
+        if (rng.chance(7, 8))
+            payload |= uint64_t{1} << 51; // quiet bit
+        if ((payload & fracMask) == 0)
+            payload = uint64_t{1} << 51;
+        v = (rng.chance(1, 2) ? signBit : 0) | (0x7ffULL << 52) |
+            payload;
+        break;
+      }
+      case 2:
+        v = (rng.chance(1, 2) ? signBit : 0) | (0x7ffULL << 52); // ±inf
+        break;
+      case 3: {
+        // Denormal.
+        uint64_t frac = rng.next() & fracMask;
+        if (frac == 0)
+            frac = 1;
+        v = (rng.chance(1, 2) ? signBit : 0) | frac;
+        break;
+      }
+      case 4: {
+        // Extreme exponents: products/quotients overflow or go
+        // subnormal, stressing mantissa-mode reconstruction limits.
+        uint64_t e = rng.chance(1, 2) ? 1 + rng.below(60)
+                                      : 1986 + rng.below(60);
+        v = (rng.chance(1, 2) ? signBit : 0) | (e << 52) |
+            (rng.next() & fracMask);
+        break;
+      }
+      case 5:
+        // Small integers, the bread and butter of image kernels.
+        v = fpBits(static_cast<double>(rng.below(256)) *
+                   (rng.chance(1, 4) ? -1.0 : 1.0));
+        break;
+      default: {
+        // Random mid-range normal.
+        uint64_t e = 512 + rng.below(1024);
+        v = (rng.chance(1, 2) ? signBit : 0) | (e << 52) |
+            (rng.next() & fracMask);
+        break;
+      }
+    }
+    pool.remember(rng, v);
+    return v;
+}
+
+/** An adversarial integer operand. */
+uint64_t
+fuzzIntBits(FuzzRng &rng, ValuePool &pool)
+{
+    if (!pool.empty() && rng.chance(2, 5)) {
+        uint64_t v = pool.pick(rng);
+        if (rng.chance(1, 3)) {
+            uint64_t w = v ^ ((rng.next() | 1) << 48); // high-bit alias
+            pool.remember(rng, w);
+            return w;
+        }
+        return v;
+    }
+
+    uint64_t v;
+    switch (rng.below(6)) {
+      case 0: {
+        static constexpr int64_t k[] = {0, 1, -1, 2, -2, 255, 256, -256};
+        v = static_cast<uint64_t>(k[rng.below(8)]);
+        break;
+      }
+      case 1:
+        v = static_cast<uint64_t>(INT64_MIN) + rng.below(4);
+        break;
+      case 2:
+        v = uint64_t{1} << rng.below(63); // powers of two
+        break;
+      case 3:
+        v = rng.below(1 << 16); // narrow operands (early-out range)
+        break;
+      default:
+        v = rng.next();
+        break;
+    }
+    pool.remember(rng, v);
+    return v;
+}
+
+std::string
+hex(uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+/** One generated table access (aux fields used by some harnesses). */
+struct Access
+{
+    uint64_t a = 0;
+    uint64_t b = 0;
+    uint32_t aux = 0;  //!< shared: issuing unit; reuse buffer: PC
+    uint32_t tick = 0; //!< shared: cycle advance (0 = same cycle)
+};
+
+std::vector<Access>
+fuzzStream(FuzzRng &rng, Operation op, unsigned len)
+{
+    ValuePool pool_a, pool_b;
+    std::vector<Access> stream;
+    stream.reserve(len);
+    bool fp = isFloat(op);
+    for (unsigned i = 0; i < len; i++) {
+        Access ac;
+        // Sharing one pool across both operand slots produces squares
+        // (a == b) and swapped pairs, the commutative edge cases.
+        ValuePool &pb = rng.chance(1, 3) ? pool_a : pool_b;
+        ac.a = fp ? fuzzDoubleBits(rng, pool_a)
+                  : fuzzIntBits(rng, pool_a);
+        if (!isUnary(op))
+            ac.b = fp ? fuzzDoubleBits(rng, pb) : fuzzIntBits(rng, pb);
+        ac.aux = static_cast<uint32_t>(rng.below(4));
+        ac.tick = static_cast<uint32_t>(rng.chance(1, 3) ? 0 : 1);
+        stream.push_back(ac);
+    }
+    return stream;
+}
+
+/**
+ * Greedy chunk-removal shrink (ddmin-lite): repeatedly drop chunks
+ * whose removal keeps the stream failing. The checkers are
+ * deterministic, so any candidate replay is exact.
+ */
+template <typename Fails>
+std::vector<Access>
+shrinkStream(std::vector<Access> stream, Fails &&fails)
+{
+    size_t chunk = stream.size() / 2;
+    while (chunk > 0) {
+        bool removed = false;
+        size_t i = 0;
+        while (i + chunk <= stream.size() && stream.size() > 1) {
+            std::vector<Access> cand;
+            cand.reserve(stream.size() - chunk);
+            cand.insert(cand.end(), stream.begin(),
+                        stream.begin() + static_cast<long>(i));
+            cand.insert(cand.end(),
+                        stream.begin() + static_cast<long>(i + chunk),
+                        stream.end());
+            if (fails(cand)) {
+                stream = std::move(cand);
+                removed = true;
+            } else {
+                i += chunk;
+            }
+        }
+        if (!removed)
+            chunk /= 2;
+    }
+    return stream;
+}
+
+std::string
+dumpStream(Operation op, const std::vector<Access> &stream)
+{
+    std::ostringstream os;
+    os << "shrunk to " << stream.size() << " accesses:";
+    size_t shown = std::min<size_t>(stream.size(), 16);
+    for (size_t i = 0; i < shown; i++) {
+        os << "\n    " << operationName(op) << " a=" << hex(stream[i].a)
+           << " b=" << hex(stream[i].b);
+    }
+    if (shown < stream.size())
+        os << "\n    ... (" << (stream.size() - shown) << " more)";
+    return os.str();
+}
+
+/** Replay a stream through a fresh checker; first failure or nullopt. */
+template <typename MakeChecker, typename Step>
+std::optional<std::string>
+replay(const std::vector<Access> &stream, MakeChecker &&make,
+       Step &&step)
+{
+    auto checker = make();
+    for (const Access &ac : stream) {
+        if (auto e = step(checker, ac))
+            return e;
+    }
+    return std::nullopt;
+}
+
+struct CaseSetup
+{
+    std::string kind;
+    Operation op;
+    MemoConfig cfg;
+};
+
+std::optional<FuzzFailure>
+tableCase(FuzzRng &rng, uint64_t case_index, const FuzzOptions &opts,
+          unsigned variant, bool inject_bug)
+{
+    Operation op = fuzzOperation(rng);
+    MemoConfig cfg = fuzzConfig(rng);
+    std::vector<Access> stream = fuzzStream(rng, op, opts.streamLen);
+
+    std::string kind;
+    std::function<std::optional<std::string>(
+        const std::vector<Access> &)>
+        fails;
+
+    switch (variant) {
+      case 0: { // plain MemoTable vs oracle
+        kind = inject_bug ? "memo-table(+injected-tag-bug)"
+                          : "memo-table";
+        fails = [=](const std::vector<Access> &s) {
+            return replay(
+                s,
+                [&] {
+                    return MemoTableChecker(op, cfg, inject_bug);
+                },
+                [&](MemoTableChecker &c, const Access &ac) {
+                    return c.step(ac.a, ac.b,
+                                  computeResult(op, ac.a, ac.b));
+                });
+        };
+        break;
+      }
+      case 1: { // shared multi-ported table
+        kind = "shared-table";
+        unsigned ports = 1 + static_cast<unsigned>(rng.below(3));
+        fails = [=](const std::vector<Access> &s) {
+            uint64_t cycle = 0;
+            return replay(
+                s,
+                [&] { return SharedTableChecker(op, cfg, ports); },
+                [&, ports](SharedTableChecker &c, const Access &ac) {
+                    (void)ports;
+                    cycle += ac.tick;
+                    return c.step(ac.aux, cycle, ac.a, ac.b,
+                                  computeResult(op, ac.a, ac.b));
+                });
+        };
+        break;
+      }
+      case 2: { // tiered L1+L2 table
+        kind = "tiered-table";
+        MemoConfig l1 = cfg;
+        l1.infinite = false;
+        MemoConfig l2 = l1;
+        l2.entries = l1.entries * 4;
+        l2.ways = std::min(l2.entries, l1.ways * 2);
+        fails = [=](const std::vector<Access> &s) {
+            return replay(
+                s, [&] { return TieredTableChecker(op, l1, l2); },
+                [&](TieredTableChecker &c, const Access &ac) {
+                    return c.step(ac.a, ac.b,
+                                  computeResult(op, ac.a, ac.b));
+                });
+        };
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+
+    auto first = fails(stream);
+    if (!first)
+        return std::nullopt;
+
+    stream = shrinkStream(std::move(stream),
+                          [&](const std::vector<Access> &s) {
+                              return fails(s).has_value();
+                          });
+    FuzzFailure f;
+    f.caseIndex = case_index;
+    f.kind = kind;
+    f.what = *fails(stream);
+    std::ostringstream repro;
+    repro << "memo_fuzz --seed " << opts.seed << " --iters "
+          << (case_index + 1) << " --stream " << opts.streamLen;
+    f.repro = repro.str();
+    f.detail = "op " + std::string(operationName(op)) + ", cfg " +
+               cfg.describe() + "; " + dumpStream(op, stream);
+    return f;
+}
+
+std::optional<FuzzFailure>
+reuseBufferCase(FuzzRng &rng, uint64_t case_index,
+                const FuzzOptions &opts)
+{
+    unsigned entries = 1u << (2 + rng.below(5));
+    unsigned ways =
+        1u << rng.below(std::min<uint64_t>(3, 2 + rng.below(5)) + 1);
+    ways = std::min(ways, entries);
+    std::vector<Access> stream = fuzzStream(rng, Operation::FpMul,
+                                            opts.streamLen);
+    // A handful of static PCs so unrolled-loop-style sharing and set
+    // conflicts both occur; the PC selects the (fixed) operation, so
+    // the instruction stream stays functional.
+    static constexpr Operation pc_ops[] = {
+        Operation::IntMul, Operation::FpMul, Operation::FpDiv,
+        Operation::FpMul};
+    for (Access &ac : stream)
+        ac.aux = static_cast<uint32_t>(rng.below(24));
+
+    auto fails = [&](const std::vector<Access> &s) {
+        return replay(
+            s, [&] { return ReuseBufferChecker(entries, ways); },
+            [&](ReuseBufferChecker &c, const Access &ac) {
+                Operation op = pc_ops[ac.aux % 4];
+                return c.step(ac.aux, ac.a, ac.b,
+                              computeResult(op, ac.a, ac.b));
+            });
+    };
+
+    auto first = fails(stream);
+    if (!first)
+        return std::nullopt;
+    stream = shrinkStream(std::move(stream),
+                          [&](const std::vector<Access> &s) {
+                              return fails(s).has_value();
+                          });
+    FuzzFailure f;
+    f.caseIndex = case_index;
+    f.kind = "reuse-buffer";
+    f.what = *fails(stream);
+    std::ostringstream repro;
+    repro << "memo_fuzz --seed " << opts.seed << " --iters "
+          << (case_index + 1) << " --stream " << opts.streamLen;
+    f.repro = repro.str();
+    f.detail = dumpStream(Operation::FpMul, stream);
+    return f;
+}
+
+std::optional<FuzzFailure>
+recipCacheCase(FuzzRng &rng, uint64_t case_index,
+               const FuzzOptions &opts)
+{
+    unsigned entries = 1u << (2 + rng.below(5));
+    unsigned ways = std::min(entries, 1u << rng.below(4));
+    std::vector<Access> stream = fuzzStream(rng, Operation::FpDiv,
+                                            opts.streamLen);
+
+    auto fails = [&](const std::vector<Access> &s) {
+        return replay(
+            s, [&] { return RecipCacheChecker(entries, ways); },
+            [&](RecipCacheChecker &c, const Access &ac) {
+                uint64_t recip = fpBits(1.0 / fpFromBits(ac.b));
+                return c.step(ac.b, recip);
+            });
+    };
+
+    auto first = fails(stream);
+    if (!first)
+        return std::nullopt;
+    stream = shrinkStream(std::move(stream),
+                          [&](const std::vector<Access> &s) {
+                              return fails(s).has_value();
+                          });
+    FuzzFailure f;
+    f.caseIndex = case_index;
+    f.kind = "recip-cache";
+    f.what = *fails(stream);
+    std::ostringstream repro;
+    repro << "memo_fuzz --seed " << opts.seed << " --iters "
+          << (case_index + 1) << " --stream " << opts.streamLen;
+    f.repro = repro.str();
+    f.detail = dumpStream(Operation::FpDiv, stream);
+    return f;
+}
+
+/**
+ * Whole-CPU differential: a random instruction trace replayed with
+ * and without a random memo bank must retain instruction counts,
+ * never get slower, and keep every table's statistics conserved
+ * against the per-class dynamic counts. With MEMO_VERIFY the replay
+ * additionally asserts bit transparency on every hit (sim/cpu.cc).
+ */
+std::optional<FuzzFailure>
+cpuCase(FuzzRng &rng, uint64_t case_index, const FuzzOptions &opts)
+{
+    static constexpr InstClass classes[] = {
+        InstClass::IntAlu, InstClass::IntAlu, InstClass::Load,
+        InstClass::Store,  InstClass::Branch, InstClass::FpAdd,
+        InstClass::IntMul, InstClass::FpMul,  InstClass::FpMul,
+        InstClass::FpDiv,  InstClass::FpSqrt};
+
+    ValuePool ipool, fpool_a, fpool_b;
+    Trace trace;
+    for (unsigned i = 0; i < opts.streamLen; i++) {
+        Instruction inst;
+        inst.cls = classes[rng.below(std::size(classes))];
+        inst.pc = static_cast<uint32_t>(rng.below(64)) * 4;
+        if (auto op = memoOperation(inst.cls)) {
+            bool fp = isFloat(*op);
+            inst.a = fp ? fuzzDoubleBits(rng, fpool_a)
+                        : fuzzIntBits(rng, ipool);
+            if (!isUnary(*op))
+                inst.b = fp ? fuzzDoubleBits(rng, fpool_b)
+                            : fuzzIntBits(rng, ipool);
+            inst.result = computeResult(*op, inst.a, inst.b);
+        } else if (inst.cls == InstClass::Load ||
+                   inst.cls == InstClass::Store) {
+            inst.addr = rng.below(1 << 20) * 8;
+        }
+        trace.push(inst);
+    }
+
+    CpuConfig ccfg;
+    ccfg.earlyOutIntMul = rng.chance(1, 4);
+    CpuModel cpu(ccfg);
+
+    SimResult base = cpu.run(trace);
+    SimResult again = cpu.run(trace);
+
+    MemoBank bank;
+    Operation memo_ops[] = {Operation::IntMul, Operation::FpMul,
+                            Operation::FpDiv, Operation::FpSqrt};
+    for (Operation op : memo_ops) {
+        if (rng.chance(3, 4))
+            bank.addTable(op, fuzzConfig(rng));
+    }
+    SimResult memod = cpu.run(trace, &bank);
+
+    auto fail = [&](const std::string &what) {
+        FuzzFailure f;
+        f.caseIndex = case_index;
+        f.kind = "cpu-differential";
+        f.what = what;
+        std::ostringstream repro;
+        repro << "memo_fuzz --seed " << opts.seed << " --iters "
+              << (case_index + 1) << " --stream " << opts.streamLen;
+        f.repro = repro.str();
+        f.detail = "trace of " + std::to_string(trace.size()) +
+                   " instructions";
+        return f;
+    };
+
+    if (base.totalCycles != again.totalCycles ||
+        base.cycles != again.cycles)
+        return fail("baseline replay is not deterministic");
+    if (base.count != memod.count)
+        return fail("memoization changed dynamic instruction counts");
+    if (memod.totalCycles > base.totalCycles)
+        return fail("memoized run slower than baseline: " +
+                    std::to_string(memod.totalCycles) + " > " +
+                    std::to_string(base.totalCycles) + " cycles");
+
+    for (Operation op : memo_ops) {
+        const MemoTable *t = bank.table(op);
+        if (!t)
+            continue;
+        const MemoStats &s = t->stats();
+        if (auto e = statsConserved(s, operationName(op).data()))
+            return fail(*e);
+        InstClass cls = instClassOf(op);
+        uint64_t presented = s.lookups + s.trivialBypassed;
+        if (presented != memod.countOf(cls))
+            return fail(std::string(operationName(op)) +
+                        ": lookups + bypassed (" +
+                        std::to_string(presented) +
+                        ") != dynamic count (" +
+                        std::to_string(memod.countOf(cls)) + ")");
+        // Exact cycle accounting: hits complete in 1 cycle, every
+        // other presented operation pays the unit latency. (IntMul is
+        // excluded when the early-out unit makes latency data
+        // dependent.)
+        if (op != Operation::IntMul || !ccfg.earlyOutIntMul) {
+            uint64_t lat = ccfg.lat[cls];
+            uint64_t expect = s.allHits() +
+                              (memod.countOf(cls) - s.allHits()) * lat;
+            if (memod.cyclesOf(cls) != expect)
+                return fail(std::string(operationName(op)) +
+                            " cycle accounting: got " +
+                            std::to_string(memod.cyclesOf(cls)) +
+                            ", expected " + std::to_string(expect));
+        }
+    }
+    return std::nullopt;
+}
+
+} // anonymous namespace
+
+MemoConfig
+fuzzConfig(FuzzRng &rng)
+{
+    MemoConfig cfg;
+    unsigned entries_log = static_cast<unsigned>(rng.below(9));
+    unsigned max_ways_log = std::min(entries_log, 3u);
+    cfg.entries = 1u << entries_log;
+    cfg.ways = 1u << rng.below(max_ways_log + 1);
+    cfg.infinite = rng.chance(1, 6);
+    cfg.tagMode = rng.chance(1, 3) ? TagMode::MantissaOnly
+                                   : TagMode::FullValue;
+    static constexpr TrivialMode trivial[] = {
+        TrivialMode::CacheAll, TrivialMode::NonTrivialOnly,
+        TrivialMode::Integrated};
+    cfg.trivialMode = trivial[rng.below(3)];
+    static constexpr Replacement repl[] = {
+        Replacement::Lru, Replacement::Fifo, Replacement::Random};
+    cfg.replacement = repl[rng.below(3)];
+    cfg.hashScheme = rng.chance(1, 3) ? HashScheme::PaperXor
+                                      : HashScheme::Additive;
+    cfg.extendedTrivial = rng.chance(1, 4);
+    cfg.parityProtected = rng.chance(1, 4);
+    return cfg;
+}
+
+Operation
+fuzzOperation(FuzzRng &rng)
+{
+    static constexpr Operation ops[] = {
+        Operation::IntMul, Operation::IntMul, Operation::FpMul,
+        Operation::FpMul,  Operation::FpMul,  Operation::FpDiv,
+        Operation::FpDiv,  Operation::FpSqrt, Operation::FpLog,
+        Operation::FpSin,  Operation::FpCos,  Operation::FpExp};
+    return ops[rng.below(std::size(ops))];
+}
+
+uint64_t
+computeResult(Operation op, uint64_t a_bits, uint64_t b_bits)
+{
+    switch (op) {
+      case Operation::IntMul:
+        return a_bits * b_bits; // wrap-around product
+      case Operation::FpMul:
+        return fpBits(fpFromBits(a_bits) * fpFromBits(b_bits));
+      case Operation::FpDiv:
+        return fpBits(fpFromBits(a_bits) / fpFromBits(b_bits));
+      case Operation::FpSqrt:
+        return fpBits(std::sqrt(fpFromBits(a_bits)));
+      case Operation::FpLog:
+        return fpBits(std::log(fpFromBits(a_bits)));
+      case Operation::FpSin:
+        return fpBits(std::sin(fpFromBits(a_bits)));
+      case Operation::FpCos:
+        return fpBits(std::cos(fpFromBits(a_bits)));
+      case Operation::FpExp:
+        return fpBits(std::exp(fpFromBits(a_bits)));
+    }
+    return 0;
+}
+
+std::optional<FuzzFailure>
+runFuzzCase(uint64_t case_index, const FuzzOptions &opts)
+{
+    FuzzRng rng = caseRng(opts.seed, case_index);
+    switch (rng.below(8)) {
+      case 0:
+      case 1:
+      case 2:
+        return tableCase(rng, case_index, opts, 0, false);
+      case 3:
+        return tableCase(rng, case_index, opts, 1, false);
+      case 4:
+        return tableCase(rng, case_index, opts, 2, false);
+      case 5:
+        return reuseBufferCase(rng, case_index, opts);
+      case 6:
+        return recipCacheCase(rng, case_index, opts);
+      default:
+        return cpuCase(rng, case_index, opts);
+    }
+}
+
+std::optional<FuzzFailure>
+fuzz(const FuzzOptions &opts, std::ostream *log)
+{
+    for (uint64_t i = 0; i < opts.iters; i++) {
+        if (auto f = runFuzzCase(i, opts)) {
+            if (log) {
+                *log << "FAIL case " << f->caseIndex << " [" << f->kind
+                     << "]\n  " << f->what << "\n  " << f->detail
+                     << "\n  repro: " << f->repro << "\n";
+            }
+            return f;
+        }
+        if (log && opts.verbose && (i + 1) % 1000 == 0)
+            *log << "  ..." << (i + 1) << "/" << opts.iters
+                 << " cases ok\n";
+    }
+    if (log)
+        *log << "ok: " << opts.iters << " fuzz cases, seed "
+             << opts.seed << ", no invariant violations\n";
+    return std::nullopt;
+}
+
+bool
+mutationSelfTest(const FuzzOptions &opts, std::ostream *log)
+{
+    for (uint64_t i = 0; i < opts.iters; i++) {
+        FuzzRng rng = caseRng(opts.seed, i);
+        if (auto f = tableCase(rng, i, opts, 0, true)) {
+            if (log)
+                *log << "mutation caught at case " << i << ": "
+                     << f->what << "\n  " << f->detail << "\n";
+            return true;
+        }
+    }
+    if (log)
+        *log << "MUTATION MISSED: injected tag-comparison bug "
+                "survived "
+             << opts.iters << " cases (seed " << opts.seed << ")\n";
+    return false;
+}
+
+} // namespace memo::check

@@ -1,0 +1,19 @@
+#include "check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace memo
+{
+
+void
+checkFailed(const char *expr, const char *msg, const char *file,
+            int line)
+{
+    std::fprintf(stderr, "MEMO_CHECK failed: %s\n  %s\n  at %s:%d\n",
+                 msg, expr, file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace memo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * MEMO_CHECK: the transparency invariant as a machine-checked assertion.
+ *
+ * The paper's MEMO-TABLE is only correct if it is *transparent*: a hit
+ * must return bit-identical results to the computation unit it aborts
+ * (Citron et al., section 2). The simulator asserts this on every hit,
+ * but a plain assert() is compiled out of Release builds — exactly the
+ * builds the long fuzz runs and CI sanitizer jobs use. MEMO_CHECK stays
+ * active whenever the build defines MEMO_VERIFY (cmake -DMEMO_VERIFY=ON)
+ * in addition to all !NDEBUG builds, so correctness checking can be
+ * switched on without giving up optimization.
+ */
+
+#ifndef MEMO_CORE_CHECK_HH
+#define MEMO_CORE_CHECK_HH
+
+namespace memo
+{
+
+/**
+ * Report a failed MEMO_CHECK and abort. Out of line so the macro
+ * expands to a single cheap branch at every check site.
+ */
+[[noreturn]] void checkFailed(const char *expr, const char *msg,
+                              const char *file, int line);
+
+} // namespace memo
+
+/** True when MEMO_CHECK compiles to a real test in this build. */
+#if defined(MEMO_VERIFY) || !defined(NDEBUG)
+#define MEMO_CHECK_ACTIVE 1
+#else
+#define MEMO_CHECK_ACTIVE 0
+#endif
+
+/**
+ * Check a correctness invariant that must survive into optimized
+ * verification builds (-DMEMO_VERIFY=ON), unlike assert().
+ */
+#if MEMO_CHECK_ACTIVE
+#define MEMO_CHECK(cond, msg)                                           \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::memo::checkFailed(#cond, msg, __FILE__, __LINE__);        \
+    } while (0)
+#else
+#define MEMO_CHECK(cond, msg) ((void)0)
+#endif
+
+#endif // MEMO_CORE_CHECK_HH

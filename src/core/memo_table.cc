@@ -235,8 +235,20 @@ MemoTable::derivePayload(uint64_t a_bits, uint64_t b_bits,
            check == result_bits;
 }
 
+bool
+MemoTable::commutableBits(uint64_t a_bits, uint64_t b_bits) const
+{
+    if (!isCommutative(op))
+        return false;
+    if (op == Operation::FpMul && fpIsNaNBits(a_bits) &&
+        fpIsNaNBits(b_bits))
+        return false;
+    return true;
+}
+
 MemoTable::Entry *
-MemoTable::findEntry(uint64_t index, uint64_t tag_a, uint64_t tag_b)
+MemoTable::findEntry(uint64_t index, uint64_t tag_a, uint64_t tag_b,
+                     bool allow_swap)
 {
     Entry *set = &entries[index * cfg.ways];
     for (unsigned w = 0; w < cfg.ways; w++) {
@@ -247,7 +259,7 @@ MemoTable::findEntry(uint64_t index, uint64_t tag_a, uint64_t tag_b)
             return &e;
         // Commutative units compare the operands in both orders
         // (section 2.2).
-        if (isCommutative(op) && e.tagA == tag_b && e.tagB == tag_a)
+        if (allow_swap && e.tagA == tag_b && e.tagB == tag_a)
             return &e;
     }
     return nullptr;
@@ -305,10 +317,11 @@ MemoTable::lookup(uint64_t a_bits, uint64_t b_bits)
 
     uint64_t tag_a = makeTag(a_bits);
     uint64_t tag_b = isUnary(op) ? 0 : makeTag(b_bits);
+    bool swap_ok = commutableBits(a_bits, b_bits);
 
     if (cfg.infinite) {
         InfKey key{tag_a, tag_b};
-        if (isCommutative(op) && key.b < key.a)
+        if (swap_ok && key.b < key.a)
             std::swap(key.a, key.b);
         auto it = infTable.find(key);
         if (it != infTable.end()) {
@@ -327,7 +340,7 @@ MemoTable::lookup(uint64_t a_bits, uint64_t b_bits)
     }
 
     uint64_t index = indexOf(a_bits, b_bits);
-    if (Entry *e = findEntry(index, tag_a, tag_b)) {
+    if (Entry *e = findEntry(index, tag_a, tag_b, swap_ok)) {
         if (cfg.parityProtected &&
             entryParity(e->tagA, e->tagB, e->value) != e->parity) {
             // Soft error detected: drop the entry, take the miss.
@@ -373,10 +386,11 @@ MemoTable::update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits)
 
     uint64_t tag_a = makeTag(a_bits);
     uint64_t tag_b = isUnary(op) ? 0 : makeTag(b_bits);
+    bool swap_ok = commutableBits(a_bits, b_bits);
 
     if (cfg.infinite) {
         InfKey key{tag_a, tag_b};
-        if (isCommutative(op) && key.b < key.a)
+        if (swap_ok && key.b < key.a)
             std::swap(key.a, key.b);
         auto [it, inserted] = infTable.try_emplace(key,
                                                    InfValue{value, delta});
@@ -388,7 +402,7 @@ MemoTable::update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits)
     }
 
     uint64_t index = indexOf(a_bits, b_bits);
-    if (Entry *e = findEntry(index, tag_a, tag_b)) {
+    if (Entry *e = findEntry(index, tag_a, tag_b, swap_ok)) {
         // Already present (e.g. refreshed by a racing unit); rewrite.
         e->value = value;
         e->delta = delta;

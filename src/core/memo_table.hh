@@ -181,7 +181,17 @@ class MemoTable
                        uint64_t result_bits, uint64_t &frac,
                        int8_t &delta) const;
 
-    Entry *findEntry(uint64_t index, uint64_t tag_a, uint64_t tag_b);
+    /**
+     * True when swapped-order (commutative) matching preserves bit
+     * transparency for this operand pair. a*b and b*a are bit-identical
+     * except when both operands are NaN: the unit then propagates the
+     * *first* operand's payload, so the swapped-order result differs
+     * and those accesses must match in exact order only.
+     */
+    bool commutableBits(uint64_t a_bits, uint64_t b_bits) const;
+
+    Entry *findEntry(uint64_t index, uint64_t tag_a, uint64_t tag_b,
+                     bool allow_swap);
     Entry &victimEntry(uint64_t index);
 
     Operation op;

@@ -12,6 +12,13 @@ namespace memo
 namespace
 {
 
+// Portability note: everything below derives its randomness from the
+// mix64 hash, never from <random> distributions. libstdc++ and libc++
+// produce different sequences for std::uniform_*_distribution and
+// std::shuffle even with identical engine streams, which would break
+// the cross-platform reproducibility the golden snapshots
+// (tests/golden/) and the Generate.PixelsAreBitStable checksums pin.
+
 /** splitmix64 — cheap stateless hash for lattice noise. */
 uint64_t
 mix64(uint64_t z)

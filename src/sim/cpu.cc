@@ -1,8 +1,7 @@
 #include "cpu.hh"
 
-#include <cassert>
-
 #include "arith/units.hh"
+#include "core/check.hh"
 
 namespace memo
 {
@@ -53,8 +52,9 @@ CpuModel::run(const Trace &trace, MemoBank *bank)
                 if (auto v = table->lookup(inst.a, inst.b)) {
                     // A successful lookup gives the result of a
                     // multi-cycle computation in a single cycle.
-                    assert(*v == inst.result &&
-                           "memoized value must match computation");
+                    MEMO_CHECK(*v == inst.result,
+                               "memoized value must match computation "
+                               "(MEMO-TABLE transparency, section 2)");
                     lat = 1;
                 } else {
                     table->update(inst.a, inst.b, inst.result);

@@ -141,7 +141,10 @@ Recorder::exp(double a, std::source_location loc)
 int64_t
 Recorder::imul(int64_t a, int64_t b, std::source_location loc)
 {
-    int64_t r = a * b;
+    // Multiply through uint64: hardware wrap-around semantics without
+    // the signed-overflow UB (workloads do overflow 64 bits).
+    int64_t r = static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                     static_cast<uint64_t>(b));
     pushOp(InstClass::IntMul, static_cast<uint64_t>(a),
            static_cast<uint64_t>(b), static_cast<uint64_t>(r), loc);
     return r;

@@ -126,5 +126,38 @@ INSTANTIATE_TEST_SUITE_P(Sweep, FpRoundTrip,
                          ::testing::Values(1, 42, 0xdeadbeef,
                                            0x123456789abcdefULL));
 
+TEST(Fp, NaNBitsClassification)
+{
+    // quiet and signaling NaNs, either sign
+    EXPECT_TRUE(fpIsNaNBits(0x7ff8000000000000ULL));
+    EXPECT_TRUE(fpIsNaNBits(0xfff8000000000000ULL));
+    EXPECT_TRUE(fpIsNaNBits(0x7ff0000000000001ULL));
+    EXPECT_TRUE(fpIsNaNBits(0x7fffffffffffffffULL));
+    // infinities have an empty fraction
+    EXPECT_FALSE(fpIsNaNBits(0x7ff0000000000000ULL));
+    EXPECT_FALSE(fpIsNaNBits(0xfff0000000000000ULL));
+    // normals, denormals, zeros
+    EXPECT_FALSE(fpIsNaNBits(fpBits(1.5)));
+    EXPECT_FALSE(fpIsNaNBits(fpBits(-1e308)));
+    EXPECT_FALSE(fpIsNaNBits(0x0000000000000001ULL));
+    EXPECT_FALSE(fpIsNaNBits(0x8000000000000000ULL));
+    EXPECT_FALSE(fpIsNaNBits(0));
+}
+
+TEST(Fp, NaNBitsAgreesWithIsnan)
+{
+    uint64_t z = 99;
+    for (int i = 0; i < 4000; i++) {
+        z += 0x9e3779b97f4a7c15ULL;
+        uint64_t bits = z ^ (z >> 31);
+        EXPECT_EQ(fpIsNaNBits(bits), std::isnan(fpFromBits(bits)))
+            << std::hex << bits;
+        // Force the NaN exponent to exercise the boundary densely.
+        uint64_t nanish = bits | (0x7ffULL << 52);
+        EXPECT_EQ(fpIsNaNBits(nanish), std::isnan(fpFromBits(nanish)))
+            << std::hex << nanish;
+    }
+}
+
 } // anonymous namespace
 } // namespace memo

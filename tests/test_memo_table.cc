@@ -235,6 +235,123 @@ TEST(MemoTable, StatsConsistency)
     EXPECT_LE(s.evictions, s.insertions);
 }
 
+// --- floating point edge operands -----------------------------------
+// NaNs, denormals and signed zeros are where a value-identity cache
+// can silently break IEEE semantics; these tests pin the table's
+// behaviour at each edge (see also src/check/oracle.cc, which models
+// the same rules independently).
+
+uint64_t
+quietNaN(uint64_t payload)
+{
+    return (0x7ffULL << 52) | (uint64_t{1} << 51) | payload;
+}
+
+TEST(MemoTableEdge, NaNOperandsAreBitExactKeys)
+{
+    MemoTable t(Operation::FpMul, cfg32());
+    uint64_t n = quietNaN(0xabc), x = fpBits(2.0);
+    t.update(n, x, n);
+    auto hit = t.lookup(n, x);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, n);
+    // A different payload is a different key.
+    EXPECT_FALSE(t.lookup(quietNaN(0xabd), x).has_value());
+}
+
+TEST(MemoTableEdge, BothNaNPairsDoNotCommute)
+{
+    // x*y with two NaN operands returns the first operand's payload,
+    // so the commutative dual-order match must be suppressed: a hit on
+    // the swapped order would return the wrong payload bits.
+    MemoTable t(Operation::FpMul, cfg32());
+    uint64_t n1 = quietNaN(0x111), n2 = quietNaN(0x222);
+    t.update(n1, n2, n1);
+    EXPECT_TRUE(t.lookup(n1, n2).has_value());
+    EXPECT_FALSE(t.lookup(n2, n1).has_value());
+}
+
+TEST(MemoTableEdge, SingleNaNPairStillCommutes)
+{
+    MemoTable t(Operation::FpMul, cfg32());
+    uint64_t n = quietNaN(0x444), x = fpBits(2.0);
+    t.update(n, x, n);
+    auto hit = t.lookup(x, n);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, n);
+}
+
+TEST(MemoTableEdge, SignedZerosAreDistinctKeys)
+{
+    // 1.0 * +0.0 = +0.0 but 1.0 * -0.0 = -0.0: the two zeros must not
+    // alias. (Default config bypasses trivial ops; CacheAll inserts
+    // them like any value.)
+    MemoConfig cfg;
+    cfg.trivialMode = TrivialMode::CacheAll;
+    MemoTable t(Operation::FpMul, cfg);
+    uint64_t pz = fpBits(0.0), nz = fpBits(-0.0), x = fpBits(1.5);
+    t.update(pz, x, pz);
+    ASSERT_TRUE(t.lookup(pz, x).has_value());
+    EXPECT_EQ(*t.lookup(pz, x), pz);
+    EXPECT_FALSE(t.lookup(nz, x).has_value());
+}
+
+TEST(MemoTableEdge, DenormalsHitInFullValueMode)
+{
+    MemoTable t(Operation::FpMul, cfg32());
+    uint64_t d = 0x0000000000000abcULL; // small denormal
+    uint64_t x = fpBits(0.5);
+    uint64_t r = fpBits(fpFromBits(d) * 0.5);
+    t.update(d, x, r);
+    auto hit = t.lookup(d, x);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, r);
+}
+
+TEST(MemoTableEdge, MantissaModeBypassesDenormals)
+{
+    // Mantissa-only entries reconstruct a normal exponent; denormal
+    // operands are not representable and must never be inserted or
+    // hit.
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpMul, cfg);
+    uint64_t d = 0x000fffffffffffffULL;
+    t.update(d, fpBits(1.5), fpBits(fpFromBits(d) * 1.5));
+    EXPECT_FALSE(t.lookup(d, fpBits(1.5)).has_value());
+    EXPECT_EQ(t.validEntries(), 0u);
+}
+
+TEST(MemoTableEdge, MantissaModeBypassesZerosAndInfinities)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    cfg.trivialMode = TrivialMode::CacheAll; // don't fold 0 as trivial
+    MemoTable t(Operation::FpMul, cfg);
+    uint64_t inf = 0x7ffULL << 52;
+    t.update(fpBits(0.0), fpBits(1.5), fpBits(0.0));
+    t.update(inf, fpBits(1.5), inf);
+    EXPECT_EQ(t.validEntries(), 0u);
+    EXPECT_FALSE(t.lookup(fpBits(0.0), fpBits(1.5)).has_value());
+    EXPECT_FALSE(t.lookup(inf, fpBits(1.5)).has_value());
+}
+
+TEST(MemoTableEdge, MantissaModeReconstructsSignAcrossFlips)
+{
+    MemoConfig cfg;
+    cfg.tagMode = TagMode::MantissaOnly;
+    MemoTable t(Operation::FpMul, cfg);
+    t.update(fpBits(1.5), fpBits(1.25), fpBits(1.5 * 1.25));
+    // Mantissa tags ignore the sign; the hit must re-derive it from
+    // the probing operands.
+    auto hit = t.lookup(fpBits(-1.5), fpBits(1.25));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, fpBits(-1.5 * 1.25));
+    hit = t.lookup(fpBits(-1.5), fpBits(-1.25));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, fpBits(1.5 * 1.25));
+}
+
 /** Geometry sweep: (entries, ways) grid must behave sanely. */
 class MemoGeometry
     : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
