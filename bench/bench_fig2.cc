@@ -9,61 +9,27 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/lmfit.hh"
 #include "common.hh"
-#include "img/entropy.hh"
-#include "img/generate.hh"
 
 using namespace memo;
 
 namespace
 {
 
-/** Pooled per-image hit ratio of one unit across all kernels. */
 void
-perImageHits(std::vector<std::string> &names, std::vector<double> &e_full,
-             std::vector<double> &e_win, std::vector<double> &mul_hr,
-             std::vector<double> &div_hr)
-{
-    MemoConfig cfg;
-    for (const auto &ni : standardImages()) {
-        double ef = imageEntropy(ni.image);
-        double e8 = windowEntropy(ni.image, 8);
-        if (std::isnan(ef))
-            continue; // FLOAT inputs carry no entropy (Table 8 "-")
-
-        MemoBank bank = MemoBank::standard(cfg);
-        for (const auto &k : mmKernels()) {
-            if (k.name == "vsqrt")
-                continue;
-            Trace trace = traceMmKernel(k, ni.image, bench::benchCrop);
-            bank.table(Operation::FpMul)->flush();
-            bank.table(Operation::FpDiv)->flush();
-            replayMemo(trace, bank);
-        }
-        names.push_back(ni.name);
-        e_full.push_back(ef);
-        e_win.push_back(e8);
-        mul_hr.push_back(bank.table(Operation::FpMul)->stats()
-                             .hitRatio());
-        div_hr.push_back(bank.table(Operation::FpDiv)->stats()
-                             .hitRatio());
-    }
-}
-
-void
-printSeries(const std::string &title, const std::vector<double> &xs,
-            const std::vector<double> &ys,
-            const std::vector<std::string> &names)
+printSeries(const std::string &title,
+            const std::vector<check::EntropyPoint> &points, bool win,
+            bool mul, const FitResult &fit)
 {
     std::cout << title << "\n";
     TextTable t({"image", "entropy", "hit ratio"});
-    for (size_t i = 0; i < xs.size(); i++)
-        t.addRow({names[i], TextTable::fixed(xs[i], 2),
-                  TextTable::ratio(ys[i])});
+    for (const check::EntropyPoint &p : points)
+        t.addRow({p.image,
+                  TextTable::fixed(win ? p.entropyWin : p.entropyFull,
+                                   2),
+                  TextTable::ratio(mul ? p.fpMulHit : p.fpDivHit)});
     t.print(std::cout);
 
-    FitResult fit = fitLine(xs, ys);
     std::cout << "  Marquardt-Levenberg best fit: hit = "
               << TextTable::fixed(fit.params[0], 3) << " "
               << (fit.params[1] < 0 ? "- " : "+ ")
@@ -81,18 +47,16 @@ main()
     bench::printHeader("Hit ratio vs entropy with ML best-fit lines",
                        "Figure 2");
 
-    std::vector<std::string> names;
-    std::vector<double> e_full, e_win, mul_hr, div_hr;
-    perImageHits(names, e_full, e_win, mul_hr, div_hr);
+    check::EntropyResult r = check::measureEntropy();
 
-    printSeries("fp division vs whole-image entropy:", e_full, div_hr,
-                names);
-    printSeries("fp division vs 8x8 window entropy:", e_win, div_hr,
-                names);
-    printSeries("fp multiplication vs whole-image entropy:", e_full,
-                mul_hr, names);
-    printSeries("fp multiplication vs 8x8 window entropy:", e_win,
-                mul_hr, names);
+    printSeries("fp division vs whole-image entropy:", r.points, false,
+                false, r.divFull);
+    printSeries("fp division vs 8x8 window entropy:", r.points, true,
+                false, r.divWin);
+    printSeries("fp multiplication vs whole-image entropy:", r.points,
+                false, true, r.mulFull);
+    printSeries("fp multiplication vs 8x8 window entropy:", r.points,
+                true, true, r.mulWin);
 
     std::cout << "Shape to check: all four slopes are negative, around "
                  "-5% of hit ratio per\nentropy bit (the paper's "

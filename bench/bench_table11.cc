@@ -9,7 +9,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "sim/amdahl.hh"
 
 using namespace memo;
 
@@ -20,48 +19,9 @@ main()
                        "cycle divider)",
                        "Table 11");
 
-    TextTable t({"app", "hit", "FE@13", "SE@13", "speedup@13",
-                 "meas@13", "FE@39", "SE@39", "speedup@39", "meas@39"});
-
-    double sum13 = 0.0, sum39 = 0.0, sum_hit = 0.0;
-    for (const auto &name : bench::speedupApps()) {
-        const MmKernel &k = mmKernelByName(name);
-        auto fast = bench::measureAppCycles(
-            k, LatencyConfig::custom(3, 13), false, true);
-        auto slow = bench::measureAppCycles(
-            k, LatencyConfig::custom(3, 39), false, true);
-
-        double hit = fast.hitRatioFpDiv < 0 ? 0.0 : fast.hitRatioFpDiv;
-        double fe13 = static_cast<double>(fast.fpDivCycles) /
-                      fast.totalCycles;
-        double se13 = speedupEnhanced(13, hit);
-        double sp13 = amdahlSpeedup(fe13, se13);
-        double meas13 = static_cast<double>(fast.totalCycles) /
-                        fast.memoTotalCycles;
-
-        double fe39 = static_cast<double>(slow.fpDivCycles) /
-                      slow.totalCycles;
-        double se39 = speedupEnhanced(39, hit);
-        double sp39 = amdahlSpeedup(fe39, se39);
-        double meas39 = static_cast<double>(slow.totalCycles) /
-                        slow.memoTotalCycles;
-
-        t.addRow({name, TextTable::ratio(hit),
-                  TextTable::fixed(fe13, 3), TextTable::fixed(se13, 2),
-                  TextTable::fixed(sp13, 2),
-                  TextTable::fixed(meas13, 2),
-                  TextTable::fixed(fe39, 3), TextTable::fixed(se39, 2),
-                  TextTable::fixed(sp39, 2),
-                  TextTable::fixed(meas39, 2)});
-        sum13 += sp13;
-        sum39 += sp39;
-        sum_hit += hit;
-    }
-    size_t n = bench::speedupApps().size();
-    t.addRow({"average", TextTable::ratio(sum_hit / n), "", "",
-              TextTable::fixed(sum13 / n, 2), "", "", "",
-              TextTable::fixed(sum39 / n, 2), ""});
-    t.print(std::cout);
+    bench::printSpeedups(
+        check::measureSpeedups(check::SpeedupUnit::FpDiv), "@13",
+        "@39");
 
     std::cout << "\nPaper averages: hit .48, speedup 1.05 @13 cycles "
                  "and 1.15 @39 cycles.\nShape to check: speedups grow "

@@ -7,7 +7,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "sim/amdahl.hh"
 
 using namespace memo;
 
@@ -18,47 +17,8 @@ main()
                        "cycle multiplier)",
                        "Table 12");
 
-    TextTable t({"app", "hit", "FE@3", "SE@3", "speedup@3", "meas@3",
-                 "FE@5", "SE@5", "speedup@5", "meas@5"});
-
-    double sum3 = 0.0, sum5 = 0.0, sum_hit = 0.0;
-    for (const auto &name : bench::speedupApps()) {
-        const MmKernel &k = mmKernelByName(name);
-        auto fast = bench::measureAppCycles(
-            k, LatencyConfig::custom(3, 13), true, false);
-        auto slow = bench::measureAppCycles(
-            k, LatencyConfig::custom(5, 13), true, false);
-
-        double hit = fast.hitRatioFpMul < 0 ? 0.0 : fast.hitRatioFpMul;
-        double fe3 = static_cast<double>(fast.fpMulCycles) /
-                     fast.totalCycles;
-        double se3 = speedupEnhanced(3, hit);
-        double sp3 = amdahlSpeedup(fe3, se3);
-        double meas3 = static_cast<double>(fast.totalCycles) /
-                       fast.memoTotalCycles;
-
-        double fe5 = static_cast<double>(slow.fpMulCycles) /
-                     slow.totalCycles;
-        double se5 = speedupEnhanced(5, hit);
-        double sp5 = amdahlSpeedup(fe5, se5);
-        double meas5 = static_cast<double>(slow.totalCycles) /
-                       slow.memoTotalCycles;
-
-        t.addRow({name, TextTable::ratio(hit),
-                  TextTable::fixed(fe3, 3), TextTable::fixed(se3, 2),
-                  TextTable::fixed(sp3, 2), TextTable::fixed(meas3, 2),
-                  TextTable::fixed(fe5, 3), TextTable::fixed(se5, 2),
-                  TextTable::fixed(sp5, 2),
-                  TextTable::fixed(meas5, 2)});
-        sum3 += sp3;
-        sum5 += sp5;
-        sum_hit += hit;
-    }
-    size_t n = bench::speedupApps().size();
-    t.addRow({"average", TextTable::ratio(sum_hit / n), "", "",
-              TextTable::fixed(sum3 / n, 2), "", "", "",
-              TextTable::fixed(sum5 / n, 2), ""});
-    t.print(std::cout);
+    bench::printSpeedups(
+        check::measureSpeedups(check::SpeedupUnit::FpMul), "@3", "@5");
 
     std::cout << "\nPaper averages: hit .28, speedup 1.02 @3 cycles "
                  "and 1.03 @5 cycles.\nShape to check: multiplication "

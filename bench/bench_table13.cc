@@ -7,40 +7,8 @@
 #include <iostream>
 
 #include "common.hh"
-#include "sim/amdahl.hh"
 
 using namespace memo;
-
-namespace
-{
-
-struct Combined
-{
-    double fe, se, speedup, measured;
-};
-
-Combined
-combine(const memo::bench::AppCycles &c, unsigned mul_lat,
-        unsigned div_lat)
-{
-    double hit_m = c.hitRatioFpMul < 0 ? 0.0 : c.hitRatioFpMul;
-    double hit_d = c.hitRatioFpDiv < 0 ? 0.0 : c.hitRatioFpDiv;
-    std::vector<EnhancedUnit> units = {
-        {static_cast<double>(c.fpMulCycles) / c.totalCycles,
-         speedupEnhanced(mul_lat, hit_m)},
-        {static_cast<double>(c.fpDivCycles) / c.totalCycles,
-         speedupEnhanced(div_lat, hit_d)},
-    };
-    Combined out;
-    out.fe = units[0].fe + units[1].fe;
-    out.se = combinedSe(units);
-    out.speedup = amdahlSpeedupMulti(units);
-    out.measured = static_cast<double>(c.totalCycles) /
-                   c.memoTotalCycles;
-    return out;
-}
-
-} // anonymous namespace
 
 int
 main()
@@ -49,35 +17,9 @@ main()
                        "(3/13 and 5/39 cycle FPUs)",
                        "Table 13");
 
-    TextTable t({"app", "FE fast", "SE fast", "speedup fast",
-                 "meas fast", "FE slow", "SE slow", "speedup slow",
-                 "meas slow"});
-
-    double sum_fast = 0.0, sum_slow = 0.0;
-    for (const auto &name : bench::speedupApps()) {
-        const MmKernel &k = mmKernelByName(name);
-        auto fast = bench::measureAppCycles(
-            k, LatencyConfig::custom(3, 13), true, true);
-        auto slow = bench::measureAppCycles(
-            k, LatencyConfig::custom(5, 39), true, true);
-
-        Combined cf = combine(fast, 3, 13);
-        Combined cs = combine(slow, 5, 39);
-        t.addRow({name, TextTable::fixed(cf.fe, 3),
-                  TextTable::fixed(cf.se, 2),
-                  TextTable::fixed(cf.speedup, 2),
-                  TextTable::fixed(cf.measured, 2),
-                  TextTable::fixed(cs.fe, 3),
-                  TextTable::fixed(cs.se, 2),
-                  TextTable::fixed(cs.speedup, 2),
-                  TextTable::fixed(cs.measured, 2)});
-        sum_fast += cf.speedup;
-        sum_slow += cs.speedup;
-    }
-    size_t n = bench::speedupApps().size();
-    t.addRow({"average", "", "", TextTable::fixed(sum_fast / n, 2), "",
-              "", "", TextTable::fixed(sum_slow / n, 2), ""});
-    t.print(std::cout);
+    bench::printSpeedups(
+        check::measureSpeedups(check::SpeedupUnit::Both), "fast",
+        "slow");
 
     std::cout << "\nPaper averages: speedup 1.08 (fast FPU) and 1.22 "
                  "(slow FPU).\nShape to check: combined memoing beats "

@@ -17,55 +17,33 @@ main()
                        "infinite",
                        "Table 7");
 
-    MemoConfig c32;
-    MemoConfig cinf;
-    cinf.infinite = true;
+    check::MmSuiteResult r = check::measureMmSuite();
 
     TextTable t({"application", "int mult", "fp mult", "fp div",
                  "int mult inf", "fp mult inf", "fp div inf",
                  "paper 32 (i/m/d)", "paper inf (i/m/d)"});
 
-    double s32[3] = {}, sinf[3] = {};
-    int n32[3] = {}, ninf[3] = {};
-    for (const auto &k : mmKernels()) {
-        if (k.name == "vsqrt")
-            continue; // not part of Table 7
-        auto hits = measureMmKernelConfigs(k, {c32, cinf},
-                                           bench::benchCrop);
-        UnitHits h32 = hits[0];
-        UnitHits hinf = hits[1];
-        t.addRow({k.name, TextTable::ratio(h32.intMul),
-                  TextTable::ratio(h32.fpMul),
-                  TextTable::ratio(h32.fpDiv),
-                  TextTable::ratio(hinf.intMul),
-                  TextTable::ratio(hinf.fpMul),
-                  TextTable::ratio(hinf.fpDiv),
+    for (const check::MmRow &row : r.rows) {
+        const MmKernel &k = mmKernelByName(row.name);
+        t.addRow({row.name, TextTable::ratio(row.h32.intMul),
+                  TextTable::ratio(row.h32.fpMul),
+                  TextTable::ratio(row.h32.fpDiv),
+                  TextTable::ratio(row.hinf.intMul),
+                  TextTable::ratio(row.hinf.fpMul),
+                  TextTable::ratio(row.hinf.fpDiv),
                   TextTable::ratio(k.paper.intMul32) + "/" +
                       TextTable::ratio(k.paper.fpMul32) + "/" +
                       TextTable::ratio(k.paper.fpDiv32),
                   TextTable::ratio(k.paper.intMulInf) + "/" +
                       TextTable::ratio(k.paper.fpMulInf) + "/" +
                       TextTable::ratio(k.paper.fpDivInf)});
-        double h32v[3] = {h32.intMul, h32.fpMul, h32.fpDiv};
-        double hinfv[3] = {hinf.intMul, hinf.fpMul, hinf.fpDiv};
-        for (int j = 0; j < 3; j++) {
-            if (h32v[j] >= 0) {
-                s32[j] += h32v[j];
-                n32[j]++;
-            }
-            if (hinfv[j] >= 0) {
-                sinf[j] += hinfv[j];
-                ninf[j]++;
-            }
-        }
     }
-    auto avg = [](double s, int n) { return n ? s / n : -1.0; };
-    t.addRow({"average", TextTable::ratio(avg(s32[0], n32[0])),
-              TextTable::ratio(avg(s32[1], n32[1])),
-              TextTable::ratio(avg(s32[2], n32[2])),
-              TextTable::ratio(avg(sinf[0], ninf[0])),
-              TextTable::ratio(avg(sinf[1], ninf[1])),
-              TextTable::ratio(avg(sinf[2], ninf[2])), "", ""});
+    t.addRow({"average", TextTable::ratio(r.avg32.intMul),
+              TextTable::ratio(r.avg32.fpMul),
+              TextTable::ratio(r.avg32.fpDiv),
+              TextTable::ratio(r.avgInf.intMul),
+              TextTable::ratio(r.avgInf.fpMul),
+              TextTable::ratio(r.avgInf.fpDiv), "", ""});
     t.print(std::cout);
 
     std::cout << "\nPaper averages (32): .59/.39/.47; (inf): "

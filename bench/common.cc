@@ -7,62 +7,6 @@
 namespace memo::bench
 {
 
-const std::vector<std::string> &
-speedupApps()
-{
-    // The nine applications of Tables 11 and 12.
-    static const std::vector<std::string> apps = {
-        "venhance", "vbrf", "vsqrt", "vslope", "vbpf",
-        "vkmeans", "vspatial", "vgauss", "vgpwl",
-    };
-    return apps;
-}
-
-AppCycles
-measureAppCycles(const MmKernel &kernel, const LatencyConfig &lat,
-                 bool memo_mul, bool memo_div)
-{
-    CpuConfig cpu_cfg;
-    cpu_cfg.lat = lat;
-    CpuModel cpu(cpu_cfg);
-
-    MemoBank bank;
-    if (memo_mul)
-        bank.addTable(Operation::FpMul, MemoConfig{});
-    if (memo_div)
-        bank.addTable(Operation::FpDiv, MemoConfig{});
-
-    AppCycles acc;
-    for (const auto &named : standardImages()) {
-        // Shared cached trace: the speedup tables call this for up to
-        // three (memo_mul, memo_div) variants and two latency presets
-        // per app, and re-tracing each time dominated their runtime.
-        auto trace = cachedMmKernelTrace(kernel, named, benchCrop);
-
-        SimResult base = cpu.run(*trace);
-        acc.totalCycles += base.totalCycles;
-        acc.fpDivCycles += base.cyclesOf(InstClass::FpDiv);
-        acc.fpMulCycles += base.cyclesOf(InstClass::FpMul);
-
-        if (MemoTable *t = bank.table(Operation::FpMul))
-            t->flush();
-        if (MemoTable *t = bank.table(Operation::FpDiv))
-            t->flush();
-        SimResult memo = cpu.run(*trace, &bank);
-        acc.memoTotalCycles += memo.totalCycles;
-    }
-
-    if (const MemoTable *t = bank.table(Operation::FpDiv)) {
-        if (t->stats().lookups)
-            acc.hitRatioFpDiv = t->stats().hitRatio();
-    }
-    if (const MemoTable *t = bank.table(Operation::FpMul)) {
-        if (t->stats().lookups)
-            acc.hitRatioFpMul = t->stats().hitRatio();
-    }
-    return acc;
-}
-
 void
 printHeader(const std::string &title, const std::string &paper_ref)
 {
@@ -104,6 +48,43 @@ printSciSuite(const std::vector<SciWorkload> &suite)
               TextTable::ratio(r.avgInf.intMul),
               TextTable::ratio(r.avgInf.fpMul),
               TextTable::ratio(r.avgInf.fpDiv), "", ""});
+    t.print(std::cout);
+}
+
+void
+printSpeedups(const check::SpeedupResult &r, const std::string &fast_tag,
+              const std::string &slow_tag)
+{
+    bool with_hit = r.avgHit >= 0;
+    std::vector<std::string> header{"app"};
+    if (with_hit)
+        header.push_back("hit");
+    for (const std::string &tag : {fast_tag, slow_tag}) {
+        header.push_back("FE " + tag);
+        header.push_back("SE " + tag);
+        header.push_back("speedup " + tag);
+        header.push_back("meas " + tag);
+    }
+    TextTable t(header);
+
+    for (const check::SpeedupRow &row : r.rows) {
+        std::vector<std::string> cells{row.app};
+        if (with_hit)
+            cells.push_back(TextTable::ratio(row.hit));
+        for (const check::SpeedupCell *cell : {&row.fast, &row.slow}) {
+            cells.push_back(TextTable::fixed(cell->fe, 3));
+            cells.push_back(TextTable::fixed(cell->se, 2));
+            cells.push_back(TextTable::fixed(cell->speedup, 2));
+            cells.push_back(TextTable::fixed(cell->measured, 2));
+        }
+        t.addRow(cells);
+    }
+    std::vector<std::string> avg{"average"};
+    if (with_hit)
+        avg.push_back(TextTable::ratio(r.avgHit));
+    avg.insert(avg.end(), {"", "", TextTable::fixed(r.avgFast, 2), "",
+                           "", "", TextTable::fixed(r.avgSlow, 2), ""});
+    t.addRow(avg);
     t.print(std::cout);
 }
 

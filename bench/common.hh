@@ -1,6 +1,11 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction harnesses.
+ *
+ * The measurements themselves live in src/check (golden.hh and
+ * measure.hh) so the benches, the golden snapshots and the
+ * memo-report renderer all consume the same computations; what is
+ * left here is presentation.
  */
 
 #ifndef MEMO_BENCH_COMMON_HH
@@ -12,6 +17,7 @@
 #include "analysis/experiment.hh"
 #include "analysis/table.hh"
 #include "check/golden.hh"
+#include "check/measure.hh"
 #include "img/generate.hh"
 #include "sim/cpu.hh"
 #include "workloads/workload.hh"
@@ -26,32 +32,8 @@ namespace memo::bench
  */
 constexpr int benchCrop = check::goldenCrop;
 
-/** The nine applications of the speedup tables (Tables 11-13). */
-const std::vector<std::string> &speedupApps();
-
-/**
- * Aggregate of one MM application over the standard image set: the
- * concatenated trace (tables flushed between inputs when measuring)
- * and summed baseline cycle statistics.
- */
-struct AppCycles
-{
-    double hitRatioFpDiv = -1.0;  //!< 32/4 table, pooled over inputs
-    double hitRatioFpMul = -1.0;
-    uint64_t totalCycles = 0;     //!< baseline (no memo) cycles
-    uint64_t fpDivCycles = 0;
-    uint64_t fpMulCycles = 0;
-    uint64_t memoTotalCycles = 0; //!< cycles with the given bank
-};
-
-/**
- * Run @p kernel over every standard image under @p lat, with a 32/4
- * bank attached to the units selected by @p memo_mul / @p memo_div,
- * and accumulate cycles plus hit ratios.
- */
-AppCycles measureAppCycles(const MmKernel &kernel,
-                           const LatencyConfig &lat, bool memo_mul,
-                           bool memo_div);
+/** The nine applications of the speedup tables (see check::measure). */
+using check::speedupApps;
 
 /** Print a top-level header for a bench binary. */
 void printHeader(const std::string &title, const std::string &paper_ref);
@@ -61,6 +43,15 @@ void printHeader(const std::string &title, const std::string &paper_ref);
  * the paper's reference columns (the body of Tables 5 and 6).
  */
 void printSciSuite(const std::vector<SciWorkload> &suite);
+
+/**
+ * Print one speedup table (the body of Tables 11/12/13) with
+ * per-scenario FE/SE/analytic/measured columns under the given
+ * fast/slow column tags ("@13"/"@39", "fast"/"slow", ...).
+ */
+void printSpeedups(const check::SpeedupResult &r,
+                   const std::string &fast_tag,
+                   const std::string &slow_tag);
 
 } // namespace memo::bench
 

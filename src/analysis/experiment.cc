@@ -5,6 +5,7 @@
 #include "exec/parallel.hh"
 #include "exec/trace_cache.hh"
 #include "img/generate.hh"
+#include "obs/stats.hh"
 
 namespace memo
 {
@@ -64,9 +65,28 @@ cachedSciTrace(const SciWorkload &workload)
         [&] { return traceSciWorkload(workload); });
 }
 
+namespace
+{
+
+/** Operations a MemoBank may hold a table for. */
+constexpr Operation bank_ops[] = {
+    Operation::IntMul, Operation::FpMul,  Operation::FpDiv,
+    Operation::FpSqrt, Operation::FpLog,  Operation::FpSin,
+    Operation::FpCos,  Operation::FpExp,
+};
+
+} // anonymous namespace
+
 void
 replayMemo(const Trace &trace, MemoBank &bank)
 {
+    // Snapshot the attached tables so only this replay's activity is
+    // folded into the registry below (tables accumulate across calls).
+    std::map<Operation, MemoStats> before;
+    for (Operation op : bank_ops)
+        if (const MemoTable *t = bank.table(op))
+            before[op] = t->stats();
+
     for (const Instruction &inst : trace) {
         auto op = memoOperation(inst.cls);
         if (!op)
@@ -76,6 +96,28 @@ replayMemo(const Trace &trace, MemoBank &bank)
             continue;
         if (!table->lookup(inst.a, inst.b))
             table->update(inst.a, inst.b, inst.result);
+    }
+
+    // Per-replay deltas are exact integers independent of scheduling,
+    // so parallel sweeps produce bit-identical registry snapshots.
+    auto &reg = obs::StatsRegistry::global();
+    reg.add("analysis.replay.runs", 1);
+    reg.add("analysis.replay.instructions", trace.size());
+    for (Operation op : bank_ops) {
+        const MemoTable *t = bank.table(op);
+        if (!t)
+            continue;
+        const MemoStats &a = t->stats();
+        const MemoStats &b = before[op];
+        std::string prefix =
+            "core.table." + std::string(operationName(op)) + ".";
+        reg.add(prefix + "lookups", a.lookups - b.lookups);
+        reg.add(prefix + "hits", a.hits - b.hits);
+        reg.add(prefix + "misses", a.misses - b.misses);
+        reg.add(prefix + "insertions", a.insertions - b.insertions);
+        reg.add(prefix + "evictions", a.evictions - b.evictions);
+        reg.add(prefix + "trivialHits",
+                a.trivialHits - b.trivialHits);
     }
 }
 

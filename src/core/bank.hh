@@ -22,6 +22,7 @@ namespace memo
 class MemoBank
 {
   public:
+    /** An empty bank: no unit memoized until addTable(). */
     MemoBank() = default;
 
     /** Attach a table to the unit executing @p op. */
@@ -50,6 +51,7 @@ class MemoBank
         return it == tables.end() ? nullptr : &it->second;
     }
 
+    /** Const overload of table(). */
     const MemoTable *
     table(Operation op) const
     {
@@ -57,6 +59,7 @@ class MemoBank
         return it == tables.end() ? nullptr : &it->second;
     }
 
+    /** Flush every table (entries cleared, statistics kept). */
     void
     reset()
     {

@@ -52,9 +52,9 @@ enum class TrivialMode
 /** Replacement policy within a set. */
 enum class Replacement
 {
-    Lru,
-    Fifo,
-    Random,
+    Lru,    //!< evict the least recently hit way (default)
+    Fifo,   //!< evict the oldest-inserted way
+    Random, //!< evict a pseudo-randomly chosen way (xorshift)
 };
 
 /** Set-index hash for floating point operands. */
@@ -84,10 +84,10 @@ struct MemoConfig
      * or conflict misses), the paper's upper bound columns.
      */
     bool infinite = false;
-    TagMode tagMode = TagMode::FullValue;
-    TrivialMode trivialMode = TrivialMode::NonTrivialOnly;
-    Replacement replacement = Replacement::Lru;
-    HashScheme hashScheme = HashScheme::Additive;
+    TagMode tagMode = TagMode::FullValue;             //!< Tag width (Table 10).
+    TrivialMode trivialMode = TrivialMode::NonTrivialOnly; //!< Trivial-op policy (Table 9).
+    Replacement replacement = Replacement::Lru;       //!< In-set victim choice.
+    HashScheme hashScheme = HashScheme::Additive;     //!< Fp set-index hash.
     /**
      * Detect the extended (Richardson-style) trivial set in addition to
      * the paper's basic one. Off in all paper reproductions.

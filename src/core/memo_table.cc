@@ -301,17 +301,25 @@ MemoTable::lookup(uint64_t a_bits, uint64_t b_bits)
         checkTrivial(a_bits, b_bits, trivial_result)) {
         if (cfg.trivialMode == TrivialMode::NonTrivialOnly) {
             stats_.trivialBypassed++;
+            if (hooks_)
+                emitEvent(TableEventKind::TrivialBypass,
+                          indexOf(a_bits, b_bits));
             return std::nullopt;
         }
         // Integrated: the detector inside the table supplies the result.
         stats_.lookups++;
         stats_.trivialHits++;
+        if (hooks_)
+            emitEvent(TableEventKind::TrivialHit,
+                      indexOf(a_bits, b_bits));
         return trivial_result;
     }
 
     stats_.lookups++;
     if (!taggable(a_bits, b_bits)) {
         stats_.misses++;
+        if (hooks_)
+            emitEvent(TableEventKind::Miss, indexOf(a_bits, b_bits));
         return std::nullopt;
     }
 
@@ -330,12 +338,15 @@ MemoTable::lookup(uint64_t a_bits, uint64_t b_bits)
                 !reconstruct(a_bits, b_bits, it->second.value,
                              it->second.delta, result)) {
                 stats_.misses++;
+                emitEvent(TableEventKind::Miss, 0);
                 return std::nullopt;
             }
             stats_.hits++;
+            emitEvent(TableEventKind::Hit, 0);
             return result;
         }
         stats_.misses++;
+        emitEvent(TableEventKind::Miss, 0);
         return std::nullopt;
     }
 
@@ -347,20 +358,24 @@ MemoTable::lookup(uint64_t a_bits, uint64_t b_bits)
             e->valid = false;
             stats_.parityMisses++;
             stats_.misses++;
+            emitEvent(TableEventKind::ParityAbort, index);
             return std::nullopt;
         }
         uint64_t result = e->value;
         if (mantissaMode() &&
             !reconstruct(a_bits, b_bits, e->value, e->delta, result)) {
             stats_.misses++;
+            emitEvent(TableEventKind::Miss, index);
             return std::nullopt;
         }
         if (cfg.replacement == Replacement::Lru)
             e->tick = ++tick;
         stats_.hits++;
+        emitEvent(TableEventKind::Hit, index);
         return result;
     }
     stats_.misses++;
+    emitEvent(TableEventKind::Miss, index);
     return std::nullopt;
 }
 
@@ -394,10 +409,12 @@ MemoTable::update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits)
             std::swap(key.a, key.b);
         auto [it, inserted] = infTable.try_emplace(key,
                                                    InfValue{value, delta});
-        if (inserted)
+        if (inserted) {
             stats_.insertions++;
-        else
+            emitEvent(TableEventKind::Insert, 0);
+        } else {
             it->second = InfValue{value, delta};
+        }
         return;
     }
 
@@ -412,8 +429,10 @@ MemoTable::update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits)
         return;
     }
     Entry &victim = victimEntry(index);
-    if (victim.valid)
+    if (victim.valid) {
         stats_.evictions++;
+        emitEvent(TableEventKind::Evict, index);
+    }
     victim.valid = true;
     victim.tagA = tag_a;
     victim.tagB = tag_b;
@@ -422,6 +441,7 @@ MemoTable::update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits)
     victim.parity = entryParity(tag_a, tag_b, value);
     victim.tick = ++tick;
     stats_.insertions++;
+    emitEvent(TableEventKind::Insert, index);
 }
 
 } // namespace memo

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/hooks.hh"
 #include "core/op.hh"
 #include "core/stats.hh"
 
@@ -104,9 +105,30 @@ class MemoTable
     /** Invalidate all entries but keep the statistics. */
     void flush();
 
-    const MemoStats &stats() const { return stats_; }
-    const MemoConfig &config() const { return cfg; }
-    Operation operation() const { return op; }
+    const MemoStats &stats() const { return stats_; }   //!< Access counters.
+    const MemoConfig &config() const { return cfg; }    //!< Geometry/policy.
+    Operation operation() const { return op; }          //!< Memoized op class.
+
+    /**
+     * Attach (or with nullptr detach) a transaction observer; every
+     * hit/miss/insert/evict/trivial/parity event is reported to it.
+     * The observer is borrowed, not owned, and must outlive the table
+     * or be detached first. Costs one null test per access when
+     * detached.
+     */
+    void setHooks(TableHooks *hooks) { hooks_ = hooks; }
+
+    /** The currently attached observer, or nullptr. */
+    TableHooks *hooks() const { return hooks_; }
+
+    /**
+     * Monotone access counter (lookups + trivial bypasses so far),
+     * used as the event stamp reported to TableHooks.
+     */
+    uint64_t accessStamp() const
+    {
+        return stats_.lookups + stats_.trivialBypassed;
+    }
 
     /** Number of currently valid entries (finite tables). */
     unsigned validEntries() const;
@@ -194,12 +216,21 @@ class MemoTable
                      bool allow_swap);
     Entry &victimEntry(uint64_t index);
 
+    /** Report one transaction to the attached observer, if any. */
+    void emitEvent(TableEventKind kind, uint64_t set)
+    {
+        if (hooks_)
+            hooks_->onTableEvent(op, kind, static_cast<uint32_t>(set),
+                                 accessStamp());
+    }
+
     Operation op;
     MemoConfig cfg;
     unsigned indexBits;
     std::vector<Entry> entries; //!< sets * ways, set-major
     std::unordered_map<InfKey, InfValue, InfKeyHash> infTable;
     MemoStats stats_;
+    TableHooks *hooks_ = nullptr;
     uint64_t tick = 0;
     uint64_t rng = 0x2545f4914f6cdd1dULL;
 };

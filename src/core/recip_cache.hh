@@ -44,9 +44,9 @@ class ReciprocalCache
     /** Install a freshly computed reciprocal for divisor @p b_bits. */
     void update(uint64_t b_bits, uint64_t recip_bits);
 
-    void reset();
+    void reset(); //!< Invalidate all entries and zero the statistics.
 
-    const MemoStats &stats() const { return stats_; }
+    const MemoStats &stats() const { return stats_; } //!< Access counters.
 
   private:
     struct Entry

@@ -50,9 +50,9 @@ class ReuseBuffer
     void update(uint64_t pc, uint64_t a_bits, uint64_t b_bits,
                 uint64_t result_bits);
 
-    void reset();
+    void reset(); //!< Invalidate all entries and zero the statistics.
 
-    const MemoStats &stats() const { return stats_; }
+    const MemoStats &stats() const { return stats_; } //!< Access counters.
 
   private:
     struct Entry

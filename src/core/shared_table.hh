@@ -48,9 +48,9 @@ class SharedMemoTable
     void update(unsigned cu_id, uint64_t a_bits, uint64_t b_bits,
                 uint64_t result_bits);
 
-    void reset();
+    void reset(); //!< Invalidate all entries and zero the statistics.
 
-    const MemoStats &stats() const { return inner.stats(); }
+    const MemoStats &stats() const { return inner.stats(); } //!< Counters.
     /** Hits whose entry was installed by a different unit. */
     uint64_t crossUnitHits() const { return crossHits; }
     /** Lookups rejected because all ports were busy. */

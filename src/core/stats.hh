@@ -63,7 +63,7 @@ struct MemoStats
         parityMisses += o.parityMisses;
     }
 
-    void reset() { *this = MemoStats{}; }
+    void reset() { *this = MemoStats{}; } //!< Zero all counters.
 };
 
 } // namespace memo

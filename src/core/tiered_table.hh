@@ -49,11 +49,11 @@ class TieredMemoTable
     /** Install a computed result in both levels. */
     void update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits);
 
-    void reset();
+    void reset(); //!< Invalidate both levels and zero the statistics.
 
-    const MemoStats &l1Stats() const { return l1.stats(); }
-    const MemoStats &l2Stats() const { return l2.stats(); }
-    uint64_t promotions() const { return promoted; }
+    const MemoStats &l1Stats() const { return l1.stats(); } //!< L1 counters.
+    const MemoStats &l2Stats() const { return l2.stats(); } //!< L2 counters.
+    uint64_t promotions() const { return promoted; } //!< L2-to-L1 promotions.
 
     /**
      * Combined hit ratio: fraction of L1 lookups answered by either

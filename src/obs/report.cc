@@ -1,0 +1,175 @@
+#include "report.hh"
+
+#include <sstream>
+
+namespace memo::obs
+{
+
+namespace
+{
+
+void
+mdTable(std::ostringstream &os, const ReportTable &t)
+{
+    os << "|";
+    for (const auto &h : t.header)
+        os << " " << h << " |";
+    os << "\n|";
+    for (size_t i = 0; i < t.header.size(); i++)
+        os << "---|";
+    os << "\n";
+    for (const auto &row : t.rows) {
+        os << "|";
+        for (const auto &cell : row)
+            os << " " << cell << " |";
+        os << "\n";
+    }
+}
+
+void
+mdClaim(std::ostringstream &os, const ShapeClaim &c)
+{
+    os << "- " << (c.pass ? "✓" : "✗") << " " << c.text;
+    if (!c.detail.empty())
+        os << " — " << c.detail;
+    os << "\n";
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '&':
+            out += "&amp;";
+            break;
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          default:
+            out += ch;
+        }
+    }
+    return out;
+}
+
+void
+htmlTable(std::ostringstream &os, const ReportTable &t)
+{
+    os << "<table>\n<thead><tr>";
+    for (const auto &h : t.header)
+        os << "<th>" << htmlEscape(h) << "</th>";
+    os << "</tr></thead>\n<tbody>\n";
+    for (const auto &row : t.rows) {
+        os << "<tr>";
+        for (const auto &cell : row)
+            os << "<td>" << htmlEscape(cell) << "</td>";
+        os << "</tr>\n";
+    }
+    os << "</tbody>\n</table>\n";
+}
+
+/** The inline stylesheet of the standalone HTML report. */
+const char *html_style = R"css(
+body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+       max-width: 60rem; margin: 2rem auto; padding: 0 1rem;
+       color: #1f2328; line-height: 1.5; }
+h1 { border-bottom: 2px solid #d0d7de; padding-bottom: .4rem; }
+h2 { border-bottom: 1px solid #d0d7de; padding-bottom: .25rem;
+     margin-top: 2.2rem; }
+table { border-collapse: collapse; margin: .8rem 0; font-size: .92rem; }
+th, td { border: 1px solid #d0d7de; padding: .28rem .6rem;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f6f8fa; }
+ul.claims { list-style: none; padding-left: 0; }
+ul.claims li { margin: .3rem 0; }
+.badge { display: inline-block; min-width: 3.2rem; text-align: center;
+         border-radius: .7rem; padding: .05rem .55rem;
+         font-size: .8rem; font-weight: 600; margin-right: .5rem; }
+.badge.pass { background: #dafbe1; color: #116329; }
+.badge.fail { background: #ffebe9; color: #82071e; }
+.detail { color: #57606a; }
+nav ul { columns: 2; }
+)css";
+
+} // anonymous namespace
+
+std::string
+renderMarkdown(const Report &report)
+{
+    std::ostringstream os;
+    os << "# " << report.title << "\n";
+    for (const auto &p : report.preamble)
+        os << "\n" << p << "\n";
+    for (const auto &sec : report.sections) {
+        os << "\n## " << sec.title << "\n";
+        for (const auto &p : sec.prose)
+            os << "\n" << p << "\n";
+        for (const auto &t : sec.tables) {
+            os << "\n";
+            mdTable(os, t);
+        }
+        if (!sec.claims.empty()) {
+            os << "\n";
+            for (const auto &c : sec.claims)
+                mdClaim(os, c);
+        }
+        for (const auto &p : sec.notes)
+            os << "\n" << p << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderHtml(const Report &report)
+{
+    std::ostringstream os;
+    os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+       << "<meta charset=\"utf-8\">\n<title>"
+       << htmlEscape(report.title) << "</title>\n<style>" << html_style
+       << "</style>\n</head>\n<body>\n<h1>" << htmlEscape(report.title)
+       << "</h1>\n";
+    for (const auto &p : report.preamble)
+        os << "<p>" << htmlEscape(p) << "</p>\n";
+
+    os << "<nav><ul>\n";
+    for (const auto &sec : report.sections)
+        os << "<li><a href=\"#" << sec.anchor << "\">"
+           << htmlEscape(sec.title) << "</a></li>\n";
+    os << "</ul></nav>\n";
+
+    for (const auto &sec : report.sections) {
+        os << "<h2 id=\"" << sec.anchor << "\">"
+           << htmlEscape(sec.title) << "</h2>\n";
+        for (const auto &p : sec.prose)
+            os << "<p>" << htmlEscape(p) << "</p>\n";
+        for (const auto &t : sec.tables)
+            htmlTable(os, t);
+        if (!sec.claims.empty()) {
+            os << "<ul class=\"claims\">\n";
+            for (const auto &c : sec.claims) {
+                os << "<li><span class=\"badge "
+                   << (c.pass ? "pass" : "fail") << "\">"
+                   << (c.pass ? "PASS" : "FAIL") << "</span>"
+                   << htmlEscape(c.text);
+                if (!c.detail.empty())
+                    os << " <span class=\"detail\">— "
+                       << htmlEscape(c.detail) << "</span>";
+                os << "</li>\n";
+            }
+            os << "</ul>\n";
+        }
+        for (const auto &p : sec.notes)
+            os << "<p>" << htmlEscape(p) << "</p>\n";
+    }
+    os << "</body>\n</html>\n";
+    return os.str();
+}
+
+} // namespace memo::obs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Self-rendering experiment reports.
+ *
+ * A Report is a render-agnostic document model — titled sections of
+ * prose paragraphs, tables and pass/fail shape claims — filled in
+ * from *measured* data (check::buildExperimentsReport) and rendered
+ * to Markdown (the committed EXPERIMENTS.md) or a standalone HTML
+ * page (docs/REPORT.html). Rendering is purely a function of the
+ * model: no timestamps, hostnames or locale-dependent formatting, so
+ * re-rendering unchanged measurements reproduces the committed files
+ * byte for byte (the `report_drift` check depends on this).
+ */
+
+#ifndef MEMO_OBS_REPORT_HH
+#define MEMO_OBS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace memo::obs
+{
+
+/** One table: a header row plus body rows of preformatted cells. */
+struct ReportTable
+{
+    std::vector<std::string> header;            //!< column titles
+    std::vector<std::vector<std::string>> rows; //!< body cells, row-major
+};
+
+/**
+ * One checkable shape claim of the paper, evaluated against the
+ * measured data ("MM fp hit ratios are 2x the scientific suites'").
+ */
+struct ShapeClaim
+{
+    std::string text;   //!< the claim, paper-side wording
+    bool pass = false;  //!< did the measured data reproduce it?
+    std::string detail; //!< the measured numbers behind the verdict
+};
+
+/** One titled report section (one paper table/figure, typically). */
+struct ReportSection
+{
+    std::string title;  //!< section heading
+    std::string anchor; //!< stable HTML id / markdown slug
+    std::vector<std::string> prose;  //!< paragraphs before the tables
+    std::vector<ReportTable> tables; //!< data tables, in order
+    std::vector<ShapeClaim> claims;  //!< verdicts after the tables
+    std::vector<std::string> notes;  //!< paragraphs after the claims
+};
+
+/** A whole document. */
+struct Report
+{
+    std::string title;                 //!< document heading
+    std::vector<std::string> preamble; //!< paragraphs under the title
+    std::vector<ReportSection> sections; //!< body, in render order
+};
+
+/** Render as GitHub-flavored Markdown (the EXPERIMENTS.md format). */
+std::string renderMarkdown(const Report &report);
+
+/** Render as a standalone styled HTML page (docs/REPORT.html). */
+std::string renderHtml(const Report &report);
+
+} // namespace memo::obs
+
+#endif // MEMO_OBS_REPORT_HH

@@ -1,0 +1,186 @@
+#include "stats.hh"
+
+#include <atomic>
+#include <cassert>
+#include <sstream>
+
+namespace memo::obs
+{
+
+const std::vector<uint64_t> &
+Histogram::defaultEdges()
+{
+    static const std::vector<uint64_t> edges = {1, 2, 4, 8, 16, 32, 64,
+                                                128};
+    return edges;
+}
+
+Histogram::Histogram(std::vector<uint64_t> upper_edges)
+    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0)
+{
+    assert(!edges_.empty());
+    for (size_t i = 1; i < edges_.size(); i++)
+        assert(edges_[i - 1] < edges_[i]);
+}
+
+void
+Histogram::record(uint64_t value)
+{
+    size_t b = 0;
+    while (b < edges_.size() && value > edges_[b])
+        b++;
+    counts_[b]++;
+    total_++;
+    sum_ += value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    assert(edges_ == other.edges_);
+    for (size_t i = 0; i < counts_.size(); i++)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+std::string
+Histogram::serialize() const
+{
+    std::ostringstream os;
+    os << "|";
+    for (size_t i = 0; i < counts_.size(); i++) {
+        if (i < edges_.size())
+            os << "<=" << edges_[i];
+        else
+            os << "inf";
+        os << ":" << counts_[i] << "|";
+    }
+    os << " n=" << total_ << " sum=" << sum_;
+    return os.str();
+}
+
+std::string
+Snapshot::serialize() const
+{
+    std::ostringstream os;
+    for (const auto &[name, v] : counters)
+        os << "counter " << name << " " << v << "\n";
+    for (const auto &[name, v] : gauges)
+        os << "gauge " << name << " " << v << "\n";
+    for (const auto &[name, h] : histograms)
+        os << "hist " << name << " " << h.serialize() << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+/** Process-unique registry ids, so the thread-local shard cache can
+ *  never confuse a registry with a previously destroyed one that was
+ *  allocated at the same address. */
+std::atomic<uint64_t> next_registry_id{1};
+
+/** This thread's shard pointer per registry id. */
+thread_local std::unordered_map<uint64_t, void *> tls_shards;
+
+} // anonymous namespace
+
+StatsRegistry::StatsRegistry()
+    : id_(next_registry_id.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+StatsRegistry::~StatsRegistry() = default;
+
+StatsRegistry &
+StatsRegistry::global()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+StatsRegistry::Shard &
+StatsRegistry::localShard()
+{
+    auto it = tls_shards.find(id_);
+    if (it != tls_shards.end())
+        return *static_cast<Shard *>(it->second);
+    std::lock_guard<std::mutex> lock(m_);
+    shards_.push_back(std::make_unique<Shard>());
+    Shard *shard = shards_.back().get();
+    tls_shards.emplace(id_, shard);
+    return *shard;
+}
+
+void
+StatsRegistry::add(std::string_view name, uint64_t delta)
+{
+    localShard().counters[std::string(name)] += delta;
+}
+
+void
+StatsRegistry::gaugeMax(std::string_view name, uint64_t value)
+{
+    uint64_t &g = localShard().gauges[std::string(name)];
+    if (value > g)
+        g = value;
+}
+
+void
+StatsRegistry::recordHistogram(std::string_view name, uint64_t value)
+{
+    auto &hists = localShard().histograms;
+    auto it = hists.find(std::string(name));
+    if (it == hists.end())
+        it = hists.emplace(std::string(name), Histogram()).first;
+    it->second.record(value);
+}
+
+void
+StatsRegistry::mergeHistogram(std::string_view name, const Histogram &h)
+{
+    auto &hists = localShard().histograms;
+    auto it = hists.find(std::string(name));
+    if (it == hists.end())
+        hists.emplace(std::string(name), h);
+    else
+        it->second.merge(h);
+}
+
+Snapshot
+StatsRegistry::snapshot() const
+{
+    Snapshot snap;
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &shard : shards_) {
+        for (const auto &[name, v] : shard->counters)
+            snap.counters[name] += v;
+        for (const auto &[name, v] : shard->gauges) {
+            uint64_t &g = snap.gauges[name];
+            if (v > g)
+                g = v;
+        }
+        for (const auto &[name, h] : shard->histograms) {
+            auto it = snap.histograms.find(name);
+            if (it == snap.histograms.end())
+                snap.histograms.emplace(name, h);
+            else
+                it->second.merge(h);
+        }
+    }
+    return snap;
+}
+
+void
+StatsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto &shard : shards_) {
+        shard->counters.clear();
+        shard->gauges.clear();
+        shard->histograms.clear();
+    }
+}
+
+} // namespace memo::obs

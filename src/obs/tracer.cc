@@ -1,0 +1,69 @@
+#include "tracer.hh"
+
+#include <cassert>
+#include <ostream>
+
+namespace memo::obs
+{
+
+EventTracer::EventTracer(size_t capacity, uint64_t sample_period)
+    : period_(sample_period ? sample_period : 1)
+{
+    assert(capacity > 0);
+    ring_.resize(capacity);
+}
+
+void
+EventTracer::onTableEvent(Operation op, TableEventKind kind,
+                          uint32_t set, uint64_t stamp)
+{
+    kind_counts_[static_cast<unsigned>(kind)]++;
+    if (offered_++ % period_ != 0)
+        return;
+    ring_[recorded_ % ring_.size()] = TraceRecord{stamp, set, op, kind};
+    recorded_++;
+}
+
+const TraceRecord &
+EventTracer::at(size_t i) const
+{
+    assert(i < size());
+    // Once wrapped, the oldest retained record sits right after the
+    // write position.
+    size_t base = recorded_ > ring_.size()
+                      ? recorded_ % ring_.size()
+                      : 0;
+    return ring_[(base + i) % ring_.size()];
+}
+
+void
+EventTracer::clear()
+{
+    offered_ = 0;
+    recorded_ = 0;
+    for (auto &c : kind_counts_)
+        c = 0;
+}
+
+void
+EventTracer::exportChromeTrace(std::ostream &os) const
+{
+    // Trace Event Format: instant events ("ph":"i"), one pid per
+    // process, one tid per operation class so each unit renders as its
+    // own track; the access stamp serves as the microsecond timestamp.
+    os << "{\"traceEvents\": [";
+    for (size_t i = 0; i < size(); i++) {
+        const TraceRecord &r = at(i);
+        os << (i ? ",\n " : "\n ") << "{\"name\": \""
+           << tableEventName(r.kind) << "\", \"cat\": \""
+           << operationName(r.op) << "\", \"ph\": \"i\", \"s\": \"t\""
+           << ", \"ts\": " << r.stamp << ", \"pid\": 1, \"tid\": "
+           << static_cast<unsigned>(r.op) << ", \"args\": {\"set\": "
+           << r.set << "}}";
+    }
+    os << "\n],\n\"metadata\": {\"offered\": " << offered_
+       << ", \"recorded\": " << recorded_ << ", \"dropped\": "
+       << dropped() << ", \"samplePeriod\": " << period_ << "}}\n";
+}
+
+} // namespace memo::obs

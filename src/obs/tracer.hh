@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sampled, ring-buffered MEMO-TABLE event tracer.
+ *
+ * An EventTracer attaches to one or more MemoTables (via
+ * MemoTable::setHooks) and records their transactions — hit, miss,
+ * insert, evict, trivial detections, parity aborts — as fixed-size
+ * records carrying the operation class, the set index and the table's
+ * access stamp. Memory is strictly bounded: records land in a ring
+ * buffer of fixed capacity, and once it wraps the oldest records are
+ * overwritten. A sampling period of N keeps every Nth offered event,
+ * so multi-billion-event replays can be traced at bounded cost.
+ *
+ * The retained window exports as Chrome-trace JSON ("Trace Event
+ * Format": one instant event per record, one track per operation
+ * class), loadable in chrome://tracing or Perfetto.
+ *
+ * The tracer is deliberately single-threaded: it observes tables that
+ * are themselves single-threaded (each sweep worker owns its private
+ * MemoBank). Attach one tracer per bank, not one across threads.
+ */
+
+#ifndef MEMO_OBS_TRACER_HH
+#define MEMO_OBS_TRACER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/hooks.hh"
+
+namespace memo::obs
+{
+
+/** One retained table-transaction record. */
+struct TraceRecord
+{
+    uint64_t stamp;     //!< table access counter at the event
+    uint32_t set;       //!< set index (0 for infinite tables)
+    Operation op;       //!< operation class of the reporting table
+    TableEventKind kind; //!< what happened
+};
+
+/** The ring-buffered sampled tracer; implements TableHooks. */
+class EventTracer final : public TableHooks
+{
+  public:
+    /**
+     * @param capacity ring size in records (bounded memory:
+     *        capacity * sizeof(TraceRecord) bytes, ~16 B/record)
+     * @param sample_period keep every Nth offered event (1 = all)
+     */
+    explicit EventTracer(size_t capacity = 1 << 16,
+                         uint64_t sample_period = 1);
+
+    /** TableHooks entry: count, sample, and maybe retain one event. */
+    void onTableEvent(Operation op, TableEventKind kind, uint32_t set,
+                      uint64_t stamp) override;
+
+    /** Records currently retained (<= capacity()). */
+    size_t size() const { return std::min(recorded_, ring_.size()); }
+
+    /** Ring capacity in records. */
+    size_t capacity() const { return ring_.size(); }
+
+    /** Total events offered by the attached tables. */
+    uint64_t offered() const { return offered_; }
+
+    /** Events that passed sampling (>= size() once wrapped). */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Sampled-in events lost to ring wraparound. */
+    uint64_t dropped() const { return recorded_ - size(); }
+
+    /** Per-event-kind counts over all offered events (not sampled). */
+    uint64_t offeredOf(TableEventKind kind) const
+    {
+        return kind_counts_[static_cast<unsigned>(kind)];
+    }
+
+    /** The @p i-th retained record, oldest first (0 <= i < size()). */
+    const TraceRecord &at(size_t i) const;
+
+    /** Forget all retained records and counts. */
+    void clear();
+
+    /** Write the retained window as Chrome-trace JSON. */
+    void exportChromeTrace(std::ostream &os) const;
+
+  private:
+    std::vector<TraceRecord> ring_;
+    uint64_t period_;
+    uint64_t offered_ = 0;
+    uint64_t recorded_ = 0;
+    uint64_t kind_counts_[numTableEventKinds] = {};
+};
+
+} // namespace memo::obs
+
+#endif // MEMO_OBS_TRACER_HH

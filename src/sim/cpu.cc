@@ -55,6 +55,7 @@ CpuModel::run(const Trace &trace, MemoBank *bank)
                     MEMO_CHECK(*v == inst.result,
                                "memoized value must match computation "
                                "(MEMO-TABLE transparency, section 2)");
+                    res.memoSaved[cls_idx] += lat - 1;
                     lat = 1;
                 } else {
                     table->update(inst.a, inst.b, inst.result);
@@ -65,6 +66,7 @@ CpuModel::run(const Trace &trace, MemoBank *bank)
         }
         res.cycles[cls_idx] += lat;
         res.count[cls_idx]++;
+        res.occupancy[cls_idx].record(lat);
         res.totalCycles += lat;
     }
 
@@ -88,6 +90,27 @@ CpuModel::run(const Trace &trace, MemoBank *bank)
     }
     res.l1 = hier.l1().stats();
     res.l2 = hier.l2().stats();
+
+    // Fold per-run breakdowns into the process-wide registry. Every
+    // quantity is an exact integer derived from this one trace, so
+    // sweeps merge to bit-identical snapshots at any --jobs level.
+    auto &reg = obs::StatsRegistry::global();
+    reg.add("sim.cpu.runs", 1);
+    reg.add("sim.cpu.instructions", trace.size());
+    reg.add("sim.cpu.cycles", res.totalCycles);
+    reg.add("sim.cpu.annulCycles", res.annulCycles);
+    reg.add("sim.cpu.memoSavedCycles", res.totalMemoSaved());
+    for (unsigned i = 0; i < numInstClasses; i++) {
+        if (!res.count[i])
+            continue;
+        InstClass cls = static_cast<InstClass>(i);
+        std::string name(instClassName(cls));
+        reg.add("sim.cpu.cycles." + name, res.cycles[i]);
+        if (res.memoSaved[i])
+            reg.add("sim.cpu.memoSaved." + name, res.memoSaved[i]);
+        reg.mergeHistogram("sim.cpu.occupancy." + name,
+                           res.occupancy[i]);
+    }
     return res;
 }
 

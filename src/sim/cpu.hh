@@ -17,6 +17,7 @@
 #include <map>
 
 #include "core/bank.hh"
+#include "obs/stats.hh"
 #include "sim/cache.hh"
 #include "sim/latency.hh"
 #include "trace/trace.hh"
@@ -54,6 +55,20 @@ struct SimResult
     /** Cycles and dynamic counts per instruction class. */
     std::array<uint64_t, numInstClasses> cycles{};
     std::array<uint64_t, numInstClasses> count{};
+    /**
+     * Cycles a MEMO-TABLE hit shaved off each class: the unit's full
+     * latency minus the single hit cycle, summed over hits. The
+     * per-unit answer to "where did the speedup come from" —
+     * cyclesOf(cls) is what the unit still cost, memoSavedOf(cls)
+     * what memoing saved it.
+     */
+    std::array<uint64_t, numInstClasses> memoSaved{};
+    /**
+     * Completion-latency histogram per class (unit occupancy): how
+     * many instructions of the class retired in <=1, <=2, <=4, ...
+     * cycles. Memoing shows up as mass moving into the first bucket.
+     */
+    std::array<obs::Histogram, numInstClasses> occupancy;
     /** Snapshot of each attached MEMO-TABLE's statistics. */
     std::map<Operation, MemoStats> memo;
     CacheStats l1;
@@ -69,6 +84,22 @@ struct SimResult
     countOf(InstClass cls) const
     {
         return count[static_cast<unsigned>(cls)];
+    }
+
+    uint64_t
+    memoSavedOf(InstClass cls) const
+    {
+        return memoSaved[static_cast<unsigned>(cls)];
+    }
+
+    /** Total cycles saved by MEMO-TABLE hits across all units. */
+    uint64_t
+    totalMemoSaved() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t s : memoSaved)
+            sum += s;
+        return sum;
     }
 
     /** Fraction of total cycles spent in @p cls (Amdahl's FE). */

@@ -61,18 +61,24 @@ InOrderPipeline::run(const Trace &trace, MemoBank *bank)
             if (hit) {
                 // The unit is aborted and freed; the hit completes in
                 // one cycle with no occupancy.
+                res.unitAborts++;
                 done = now + 1;
             } else {
                 uint64_t start = std::max(now, *unit);
                 res.divStallCycles += start - now;
+                res.unitStalls.record(start - now);
                 done = start + cfg.lat[inst.cls];
                 *unit = done;
+                if (inst.cls == InstClass::FpDiv)
+                    res.divBusyCycles += cfg.lat[inst.cls];
                 now = std::max(now, start); // issue stalls on the unit
             }
             break;
           }
           case InstClass::FpMul:
             if (hit) {
+                if (!cfg.mulPipelined)
+                    res.unitAborts++;
                 done = now + 1;
             } else if (cfg.mulPipelined) {
                 done = now + cfg.lat[inst.cls]; // II = 1
@@ -80,8 +86,10 @@ InOrderPipeline::run(const Trace &trace, MemoBank *bank)
                 // Serial multiplier: it occupies like the divider.
                 uint64_t start = std::max(now, mul_free);
                 res.divStallCycles += start - now;
+                res.unitStalls.record(start - now);
                 done = start + cfg.lat[inst.cls];
                 mul_free = done;
+                res.mulBusyCycles += cfg.lat[inst.cls];
                 now = std::max(now, start);
             }
             break;
@@ -95,6 +103,16 @@ InOrderPipeline::run(const Trace &trace, MemoBank *bank)
 
     res.issueCycles = now;
     res.totalCycles = std::max(now, last_complete);
+
+    auto &reg = obs::StatsRegistry::global();
+    reg.add("sim.pipeline.runs", 1);
+    reg.add("sim.pipeline.instructions", trace.size());
+    reg.add("sim.pipeline.cycles", res.totalCycles);
+    reg.add("sim.pipeline.divStallCycles", res.divStallCycles);
+    reg.add("sim.pipeline.divBusyCycles", res.divBusyCycles);
+    reg.add("sim.pipeline.mulBusyCycles", res.mulBusyCycles);
+    reg.add("sim.pipeline.unitAborts", res.unitAborts);
+    reg.mergeHistogram("sim.pipeline.unitStalls", res.unitStalls);
     if (bank) {
         for (Operation op : {Operation::IntMul, Operation::FpMul,
                              Operation::FpDiv, Operation::FpSqrt,

@@ -41,6 +41,18 @@ struct PipelineResult
     uint64_t totalCycles = 0;   //!< completion time of the last inst
     uint64_t issueCycles = 0;   //!< cycles spent issuing
     uint64_t divStallCycles = 0; //!< stalls on the busy divider
+    /** Cycles the unpipelined divider spent busy (its occupancy). */
+    uint64_t divBusyCycles = 0;
+    /** Busy cycles of the serial multiplier (0 when pipelined). */
+    uint64_t mulBusyCycles = 0;
+    /**
+     * MEMO-TABLE hits that aborted an unpipelined unit — each one
+     * freed the unit for the next operation of its class, the
+     * structural-hazard saving the paper's serial model cannot see.
+     */
+    uint64_t unitAborts = 0;
+    /** Stall-length histogram of operations queuing on a busy unit. */
+    obs::Histogram unitStalls;
     std::map<Operation, MemoStats> memo;
 };
 

@@ -32,6 +32,7 @@
 #include "exec/parallel.hh"
 #include "img/generate.hh"
 #include "img/pnm.hh"
+#include "obs/tracer.hh"
 #include "sim/cpu.hh"
 #include "trace/io.hh"
 #include "workloads/workload.hh"
@@ -50,6 +51,8 @@ struct Options
     std::string saveTrace;
     std::string loadTrace;
     std::string statsFile;
+    std::string traceEvents;   //!< Chrome-trace JSON output path
+    uint64_t samplePeriod = 1; //!< record every Nth table event
     MemoConfig table;
     int crop = 128;
     unsigned jobs = 0; //!< 0 = hardware_concurrency (default)
@@ -92,7 +95,12 @@ usage()
         "  --reuse             reuse-distance analytics per unit\n"
         "  --hot               hottest operand pairs per unit\n"
         "  --save-trace FILE / --load-trace FILE\n"
-        "  --stats FILE        write key=value statistics\n");
+        "  --stats FILE        write key=value statistics\n"
+        "  --trace-events FILE write MEMO-TABLE events (hit/miss/\n"
+        "                      insert/evict/abort) as Chrome trace\n"
+        "                      JSON (load in about://tracing)\n"
+        "  --sample N          record every Nth table event\n"
+        "                      (default 1; counts stay exact)\n");
 }
 
 CpuPreset
@@ -205,6 +213,13 @@ parseArgs(int argc, char **argv)
             opt.loadTrace = need(i);
         } else if (a == "--stats") {
             opt.statsFile = need(i);
+        } else if (a == "--trace-events") {
+            opt.traceEvents = need(i);
+        } else if (a == "--sample") {
+            long long n = std::atoll(need(i).c_str());
+            if (n <= 0)
+                throw std::runtime_error("--sample needs a positive N");
+            opt.samplePeriod = static_cast<uint64_t>(n);
         } else if (a == "--list") {
             std::printf("MM kernels:\n ");
             for (const auto &k : mmKernels())
@@ -368,6 +383,21 @@ main(int argc, char **argv)
         // as two executor jobs (--jobs 1 forces the serial path).
         SimResult base, memo;
         MemoBank bank = MemoBank::standard(opt.table);
+
+        // Optional event tracing: hook the tracer onto every table so
+        // the memoized replay streams hit/miss/insert/evict records
+        // into the bounded ring (the baseline replay has no tables).
+        std::optional<obs::EventTracer> tracer;
+        if (!opt.traceEvents.empty() && !opt.noMemo) {
+            tracer.emplace(size_t{1} << 16, opt.samplePeriod);
+            for (Operation op : {Operation::IntMul, Operation::FpMul,
+                                 Operation::FpDiv, Operation::FpSqrt,
+                                 Operation::FpLog, Operation::FpSin,
+                                 Operation::FpCos, Operation::FpExp})
+                if (MemoTable *table = bank.table(op))
+                    table->setHooks(&*tracer);
+        }
+
         exec::parallelFor(
             opt.noMemo ? 1 : 2,
             [&](size_t i) {
@@ -409,6 +439,19 @@ main(int argc, char **argv)
             t.printCsv(std::cout);
         else
             t.print(std::cout);
+
+        if (tracer) {
+            std::ofstream events(opt.traceEvents,
+                                 std::ios::binary | std::ios::trunc);
+            if (!events)
+                throw std::runtime_error("cannot write " +
+                                         opt.traceEvents);
+            tracer->exportChromeTrace(events);
+            std::cout << "wrote " << opt.traceEvents << " ("
+                      << tracer->recorded() << " of "
+                      << tracer->offered()
+                      << " table events recorded)\n";
+        }
 
         if (!opt.statsFile.empty()) {
             std::ofstream stats(opt.statsFile);
