@@ -173,14 +173,23 @@ hottestPairs(const Trace &trace, Operation op, size_t k)
 
     std::vector<HotPair> pairs;
     pairs.reserve(counts.size());
-    for (const auto &[key, count] : counts)
+    // Copy order is unspecified here, but the partial_sort below is a
+    // total order, so the selected top-k is independent of it.
+    for (const auto &[key, count] : counts) // NOLINT(memo-DET-001)
         pairs.push_back({key.first, key.second, count});
     size_t top = std::min(k, pairs.size());
+    // Ties on count are broken by operand value: without that, which
+    // pair wins (and the order of the report) would follow the hash
+    // map's iteration order and differ across standard libraries.
     std::partial_sort(pairs.begin(), pairs.begin() +
                                          static_cast<long>(top),
                       pairs.end(),
                       [](const HotPair &x, const HotPair &y) {
-                          return x.count > y.count;
+                          if (x.count != y.count)
+                              return x.count > y.count;
+                          if (x.aBits != y.aBits)
+                              return x.aBits < y.aBits;
+                          return x.bBits < y.bBits;
                       });
     pairs.resize(top);
     return pairs;

@@ -7,6 +7,12 @@
 namespace memo
 {
 
+// The exact == compares against 1.0 / -1.0 below are the mechanism,
+// not an accident: the hardware trivial-operand detector matches the
+// operand's bit pattern against a handful of constants (Citron et
+// al., section 2). An epsilon here would change which operations
+// count as trivial. memo-FP-001 is suppressed per site.
+
 std::optional<Trivial>
 trivialFpMul(double a, double b, bool extended)
 {
@@ -14,14 +20,14 @@ trivialFpMul(double a, double b, bool extended)
         return std::nullopt;
     if (fpIsZero(a) || fpIsZero(b))
         return Trivial{TrivialKind::MulByZero, a * b};
-    if (a == 1.0)
+    if (a == 1.0) // NOLINT(memo-FP-001)
         return Trivial{TrivialKind::MulByOne, b};
-    if (b == 1.0)
+    if (b == 1.0) // NOLINT(memo-FP-001)
         return Trivial{TrivialKind::MulByOne, a};
     if (extended) {
-        if (a == -1.0)
+        if (a == -1.0) // NOLINT(memo-FP-001)
             return Trivial{TrivialKind::MulByNegOne, -b};
-        if (b == -1.0)
+        if (b == -1.0) // NOLINT(memo-FP-001)
             return Trivial{TrivialKind::MulByNegOne, -a};
     }
     return std::nullopt;
@@ -34,14 +40,14 @@ trivialFpDiv(double a, double b, bool extended)
         return std::nullopt;
     if (fpIsZero(b))
         return std::nullopt; // division by zero is exceptional, not trivial
-    if (b == 1.0)
+    if (b == 1.0) // NOLINT(memo-FP-001)
         return Trivial{TrivialKind::DivByOne, a};
     if (fpIsZero(a))
         return Trivial{TrivialKind::ZeroDividend, a / b};
     if (extended) {
-        if (b == -1.0)
+        if (b == -1.0) // NOLINT(memo-FP-001)
             return Trivial{TrivialKind::DivByNegOne, -a};
-        if (a == b)
+        if (a == b) // NOLINT(memo-FP-001)
             return Trivial{TrivialKind::DivBySelf, 1.0};
     }
     return std::nullopt;
@@ -54,7 +60,7 @@ trivialFpSqrt(double a, bool extended)
         return std::nullopt;
     if (fpIsZero(a))
         return Trivial{TrivialKind::SqrtOfZero, a};
-    if (a == 1.0)
+    if (a == 1.0) // NOLINT(memo-FP-001)
         return Trivial{TrivialKind::SqrtOfOne, 1.0};
     return std::nullopt;
 }

@@ -10,8 +10,8 @@
 namespace memo
 {
 
-MemoTable::MemoTable(Operation op, const MemoConfig &cfg)
-    : op(op), cfg(cfg)
+MemoTable::MemoTable(Operation operation, const MemoConfig &config)
+    : op(operation), cfg(config)
 {
     assert(cfg.validate().empty());
     if (!cfg.infinite) {

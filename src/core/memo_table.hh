@@ -43,10 +43,10 @@ class MemoTable
 {
   public:
     /**
-     * @param op the operation this table memoizes
-     * @param cfg geometry and policy; validated with assertions
+     * @param operation the operation this table memoizes
+     * @param config geometry and policy; validated with assertions
      */
-    MemoTable(Operation op, const MemoConfig &cfg);
+    MemoTable(Operation operation, const MemoConfig &config);
 
     /**
      * Present operands to the table (the parallel lookup of Figure 1).

@@ -37,7 +37,9 @@ struct MemoStats
     double
     hitRatio() const
     {
-        return lookups ? static_cast<double>(allHits()) / lookups : 0.0;
+        return lookups ? static_cast<double>(allHits()) /
+                             static_cast<double>(lookups)
+                       : 0.0;
     }
 
     /** Fraction of all presented operations that were trivial. */
@@ -46,7 +48,9 @@ struct MemoStats
     {
         uint64_t total = lookups + trivialBypassed;
         uint64_t triv = trivialHits + trivialBypassed;
-        return total ? static_cast<double>(triv) / total : 0.0;
+        return total ? static_cast<double>(triv) /
+                           static_cast<double>(total)
+                     : 0.0;
     }
 
     /** Merge counters from another table (e.g. across runs). */

@@ -89,7 +89,10 @@ ThreadPool::defaultJobs()
 ThreadPool &
 ThreadPool::shared()
 {
-    static ThreadPool pool(std::max(defaultJobs(), 8u));
+    // Internally synchronized singleton (queue mutex + condvar); the
+    // determinism contract is carried by parallelFor's index-aligned
+    // result slots, not by the pool.
+    static ThreadPool pool(std::max(defaultJobs(), 8u)); // NOLINT(memo-CONC-003)
     return pool;
 }
 

@@ -29,7 +29,9 @@ TraceCache::TraceCache(size_t budget_bytes)
 TraceCache &
 TraceCache::instance()
 {
-    static TraceCache cache;
+    // Internally synchronized singleton: every lookup and insert is
+    // taken under the cache's own mutex.
+    static TraceCache cache; // NOLINT(memo-CONC-003)
     return cache;
 }
 

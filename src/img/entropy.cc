@@ -2,7 +2,7 @@
 
 #include <cmath>
 #include <limits>
-#include <unordered_map>
+#include <map>
 
 namespace memo
 {
@@ -14,7 +14,7 @@ namespace
 double
 sampleEntropy(const float *begin, size_t n, size_t stride)
 {
-    std::unordered_map<int, uint64_t> hist;
+    std::map<int, uint64_t> hist;
     for (size_t i = 0; i < n; i++)
         hist[static_cast<int>(begin[i * stride])]++;
     double e = 0.0;
@@ -55,7 +55,7 @@ windowEntropy(const Image &img, int window)
 
     double sum = 0.0;
     unsigned tiles = 0;
-    std::unordered_map<int, uint64_t> hist;
+    std::map<int, uint64_t> hist;
     for (int y0 = 0; y0 < img.height(); y0 += window) {
         for (int x0 = 0; x0 < img.width(); x0 += window) {
             hist.clear();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-file rule analysis for memo-lint.
+ *
+ * analyzeFile() lexes one translation unit, runs a brace/scope
+ * tracker over the token stream, applies every rule in the catalog
+ * and filters the findings through `// NOLINT(...)` /
+ * `// NOLINTNEXTLINE(...)` suppressions. Rules that depend on where
+ * a file lives (e.g. raw threads are only allowed under src/exec/)
+ * use the repo-relative path in AnalyzerOptions; a leading
+ * `// LINT-AS: <path>` comment overrides it, which is how the test
+ * fixtures exercise path-scoped rules from tests/lint_fixtures/.
+ *
+ * The analysis is heuristic and lexical by design (no libclang, no
+ * preprocessing): variable "types" are tracked by name from
+ * declarations seen in the file and in its companion header. The
+ * false-positive policy is default-deny: a flagged construct that is
+ * actually sound gets a NOLINT with a one-line justification.
+ */
+
+#ifndef MEMO_LINT_ANALYZER_HH
+#define MEMO_LINT_ANALYZER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hh"
+
+namespace memo::lint
+{
+
+/** One reported rule violation. */
+struct Finding
+{
+    const RuleInfo *rule;
+    std::string file; //!< repo-relative path
+    int line;
+    int col;
+    std::string message;
+
+    bool
+    operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (col != o.col)
+            return col < o.col;
+        return std::string_view(rule->id) < o.rule->id;
+    }
+};
+
+struct AnalyzerOptions
+{
+    /** Repo-relative path used for reporting and path-scoped rules. */
+    std::string relPath;
+    /** Contents of the companion header (same stem, .hh), or empty. */
+    std::string companionHeader;
+    /** Contents of tools/README.md for the CLI-registration rule. */
+    std::string toolsReadme;
+};
+
+/** Analyze one file; returns findings with suppressions applied. */
+std::vector<Finding> analyzeFile(std::string_view source,
+                                 const AnalyzerOptions &opt);
+
+/**
+ * The `// LINT-AS: <path>` override found in the leading comments of
+ * @p source, or empty. Exposed for the driver, which must apply it
+ * before deciding companion headers.
+ */
+std::string lintAsOverride(std::string_view source);
+
+} // namespace memo::lint
+
+#endif // MEMO_LINT_ANALYZER_HH

@@ -1,0 +1,297 @@
+#include "baseline.hh"
+
+#include <sstream>
+
+#include "lint/emit.hh"
+
+namespace memo::lint
+{
+
+namespace
+{
+
+/**
+ * The smallest JSON reader that handles the baseline format (and
+ * reasonable hand edits of it): objects, arrays, strings with
+ * escapes, integers. No floats, no unicode escapes — the canonical
+ * writer never emits them.
+ */
+struct MiniJson
+{
+    const std::string &s;
+    size_t i = 0;
+    std::string err;
+
+    void
+    skipWs()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                s[i] == '\r'))
+            i++;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (i < s.size() && s[i] == c) {
+            i++;
+            return true;
+        }
+        err = std::string("expected '") + c + "'";
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return i < s.size() && s[i] == c;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\' && i + 1 < s.size()) {
+                i++;
+                switch (s[i]) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  default:
+                    out += s[i];
+                }
+            } else {
+                out += s[i];
+            }
+            i++;
+        }
+        return expect('"');
+    }
+
+    bool
+    parseUint(uint64_t &out)
+    {
+        skipWs();
+        size_t start = i;
+        out = 0;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+            out = out * 10 + static_cast<uint64_t>(s[i] - '0');
+            i++;
+        }
+        if (i == start) {
+            err = "expected integer";
+            return false;
+        }
+        return true;
+    }
+
+    /** Skip any JSON value (for unknown keys). */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (i >= s.size())
+            return false;
+        char c = s[i];
+        if (c == '"') {
+            std::string tmp;
+            return parseString(tmp);
+        }
+        if (c == '{' || c == '[') {
+            char close = c == '{' ? '}' : ']';
+            int depth = 0;
+            bool in_str = false;
+            for (; i < s.size(); i++) {
+                if (in_str) {
+                    if (s[i] == '\\')
+                        i++;
+                    else if (s[i] == '"')
+                        in_str = false;
+                    continue;
+                }
+                if (s[i] == '"')
+                    in_str = true;
+                else if (s[i] == c || (c == '{' && s[i] == '[') ||
+                         (c == '[' && s[i] == '{'))
+                    depth++;
+                else if (s[i] == close || s[i] == (c == '{' ? ']' : '}'))
+                    depth--;
+                if (depth == 0) {
+                    i++;
+                    return true;
+                }
+            }
+            return false;
+        }
+        while (i < s.size() && s[i] != ',' && s[i] != '}' &&
+               s[i] != ']')
+            i++;
+        return true;
+    }
+};
+
+} // anonymous namespace
+
+bool
+Baseline::parse(const std::string &json, std::string &error)
+{
+    counts_.clear();
+    MiniJson p{json};
+    if (!p.expect('{')) {
+        error = p.err;
+        return false;
+    }
+    while (!p.peek('}')) {
+        std::string key;
+        if (!p.parseString(key) || !p.expect(':')) {
+            error = p.err;
+            return false;
+        }
+        if (key != "findings") {
+            if (!p.skipValue()) {
+                error = "bad value for key '" + key + "'";
+                return false;
+            }
+        } else {
+            if (!p.expect('[')) {
+                error = p.err;
+                return false;
+            }
+            while (!p.peek(']')) {
+                if (!p.expect('{')) {
+                    error = p.err;
+                    return false;
+                }
+                std::string rule, file;
+                uint64_t count = 1;
+                while (!p.peek('}')) {
+                    std::string k;
+                    if (!p.parseString(k) || !p.expect(':')) {
+                        error = p.err;
+                        return false;
+                    }
+                    bool ok = true;
+                    if (k == "rule")
+                        ok = p.parseString(rule);
+                    else if (k == "file")
+                        ok = p.parseString(file);
+                    else if (k == "count")
+                        ok = p.parseUint(count);
+                    else
+                        ok = p.skipValue();
+                    if (!ok) {
+                        error = p.err.empty() ? "bad entry" : p.err;
+                        return false;
+                    }
+                    if (!p.peek('}') && !p.expect(',')) {
+                        error = p.err;
+                        return false;
+                    }
+                }
+                p.expect('}');
+                if (rule.empty() || file.empty()) {
+                    error = "baseline entry missing rule or file";
+                    return false;
+                }
+                counts_[{rule, file}] += count;
+                if (!p.peek(']') && !p.expect(',')) {
+                    error = p.err;
+                    return false;
+                }
+            }
+            p.expect(']');
+        }
+        if (!p.peek('}') && !p.expect(',')) {
+            error = p.err;
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Baseline::serialize() const
+{
+    std::ostringstream os;
+    os << "{\n  \"version\": 1,\n  \"findings\": [";
+    bool first = true;
+    for (const auto &[key, count] : counts_) {
+        if (!count)
+            continue;
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"rule\": \"" << jsonEscape(key.first)
+           << "\", \"file\": \"" << jsonEscape(key.second)
+           << "\", \"count\": " << count << "}";
+    }
+    os << (first ? "]\n}\n" : "\n  ]\n}\n");
+    return os.str();
+}
+
+Baseline
+Baseline::fromFindings(const std::vector<Finding> &findings)
+{
+    Baseline b;
+    for (const Finding &f : findings)
+        b.counts_[{f.rule->id, f.file}]++;
+    return b;
+}
+
+std::vector<Finding>
+Baseline::filter(const std::vector<Finding> &findings) const
+{
+    std::map<std::pair<std::string, std::string>, uint64_t> used;
+    std::vector<Finding> fresh;
+    for (const Finding &f : findings) {
+        std::pair<std::string, std::string> key{f.rule->id, f.file};
+        auto it = counts_.find(key);
+        uint64_t allowed = it == counts_.end() ? 0 : it->second;
+        if (used[key] < allowed)
+            used[key]++;
+        else
+            fresh.push_back(f);
+    }
+    return fresh;
+}
+
+size_t
+Baseline::size() const
+{
+    size_t n = 0;
+    for (const auto &[key, count] : counts_)
+        n += count;
+    return n;
+}
+
+uint64_t
+Baseline::count(const std::string &rule,
+                const std::string &file) const
+{
+    auto it = counts_.find({rule, file});
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::string>
+Baseline::errorSeverityEntries() const
+{
+    std::vector<std::string> bad;
+    for (const auto &[key, count] : counts_) {
+        if (!count)
+            continue;
+        const RuleInfo *rule = findRule(key.first);
+        if (!rule || rule->severity == Severity::Error)
+            bad.push_back(key.first + " @ " + key.second);
+    }
+    return bad;
+}
+
+} // namespace memo::lint

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The memo-lint baseline: the ratchet that lets the linter land on an
+ * existing codebase without a big-bang cleanup.
+ *
+ * A baseline records, per (rule, file), how many findings are
+ * tolerated. A lint run fails only on findings in excess of the
+ * baseline, so the committed `lint-baseline.json` can only shrink
+ * over time (fix a finding, regenerate, commit). Matching is by
+ * count, not line number, so unrelated edits never invalidate the
+ * baseline. Policy (enforced by tests/test_lint.cc): DET and CONC
+ * findings must never be baselined — they are fixed or explicitly
+ * NOLINT-suppressed with a justification.
+ */
+
+#ifndef MEMO_LINT_BASELINE_HH
+#define MEMO_LINT_BASELINE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hh"
+
+namespace memo::lint
+{
+
+/** Tolerated finding counts keyed by (rule id, repo-relative file). */
+class Baseline
+{
+  public:
+    /** Parse the JSON text of a baseline file. @return success. */
+    bool parse(const std::string &json, std::string &error);
+
+    /** Serialize to the canonical JSON format (sorted keys). */
+    std::string serialize() const;
+
+    /** Build a baseline that tolerates exactly @p findings. */
+    static Baseline fromFindings(const std::vector<Finding> &findings);
+
+    /**
+     * The findings not covered by this baseline: for each
+     * (rule, file) group the first `tolerated` findings are absorbed
+     * and the rest returned, preserving order.
+     */
+    std::vector<Finding>
+    filter(const std::vector<Finding> &findings) const;
+
+    /** Total tolerated findings. */
+    size_t size() const;
+
+    /** Tolerated count for one (rule, file) pair. */
+    uint64_t count(const std::string &rule,
+                   const std::string &file) const;
+
+    /** Entries whose rule family is DET or CONC (policy violations). */
+    std::vector<std::string> errorSeverityEntries() const;
+
+  private:
+    std::map<std::pair<std::string, std::string>, uint64_t> counts_;
+};
+
+} // namespace memo::lint
+
+#endif // MEMO_LINT_BASELINE_HH

@@ -1,0 +1,218 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace memo::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character operators we must not split (longest first). */
+const char *two_char_ops[] = {
+    "::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+};
+
+} // anonymous namespace
+
+LexResult
+lex(std::string_view src)
+{
+    LexResult out;
+    size_t i = 0;
+    int line = 1, col = 1;
+
+    auto advance = [&](size_t n) {
+        for (size_t k = 0; k < n && i < src.size(); k++, i++) {
+            if (src[i] == '\n') {
+                line++;
+                col = 1;
+            } else {
+                col++;
+            }
+        }
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance(1);
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            int start_line = line;
+            size_t j = i + 2;
+            while (j < src.size() && src[j] != '\n')
+                j++;
+            out.comments.push_back(
+                {std::string(src.substr(i + 2, j - i - 2)), start_line,
+                 start_line});
+            advance(j - i);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+            int start_line = line;
+            size_t j = i + 2;
+            while (j + 1 < src.size() &&
+                   !(src[j] == '*' && src[j + 1] == '/'))
+                j++;
+            size_t end = (j + 1 < src.size()) ? j + 2 : src.size();
+            std::string body(src.substr(i + 2, j - i - 2));
+            advance(end - i);
+            out.comments.push_back({std::move(body), start_line, line});
+            continue;
+        }
+
+        // Preprocessor line (with backslash continuations). Kept as
+        // one opaque token so includes and macros never feed rules.
+        if (c == '#' && (out.tokens.empty() ||
+                         out.tokens.back().line != line)) {
+            int start_line = line, start_col = col;
+            size_t j = i + 1;
+            while (j < src.size()) {
+                if (src[j] == '\n' &&
+                    !(j > 0 && src[j - 1] == '\\'))
+                    break;
+                j++;
+            }
+            // Directive name only, e.g. "include" or "define".
+            size_t k = i + 1;
+            while (k < j && (src[k] == ' ' || src[k] == '\t'))
+                k++;
+            size_t e = k;
+            while (e < j && isIdentChar(src[e]))
+                e++;
+            out.tokens.push_back({TokKind::Preproc,
+                                  std::string(src.substr(k, e - k)),
+                                  start_line, start_col});
+            advance(j - i);
+            continue;
+        }
+
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+            size_t d0 = i + 2;
+            size_t dp = d0;
+            while (dp < src.size() && src[dp] != '(' &&
+                   src[dp] != '"' && dp - d0 <= 16)
+                dp++;
+            if (dp < src.size() && src[dp] == '(') {
+                std::string close;
+                close.reserve(dp - d0 + 2);
+                close.push_back(')');
+                close.append(src.data() + d0, dp - d0);
+                close.push_back('"');
+                size_t end = src.find(close, dp + 1);
+                size_t stop = end == std::string_view::npos
+                                  ? src.size()
+                                  : end + close.size();
+                int start_line = line, start_col = col;
+                out.tokens.push_back({TokKind::String, "<raw-string>",
+                                      start_line, start_col});
+                advance(stop - i);
+                continue;
+            }
+        }
+
+        // String and char literals.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            int start_line = line, start_col = col;
+            size_t j = i + 1;
+            while (j < src.size() && src[j] != quote) {
+                if (src[j] == '\\' && j + 1 < src.size())
+                    j++;
+                j++;
+            }
+            size_t stop = j < src.size() ? j + 1 : src.size();
+            out.tokens.push_back(
+                {quote == '"' ? TokKind::String : TokKind::CharLit,
+                 std::string(src.substr(i, stop - i)), start_line,
+                 start_col});
+            advance(stop - i);
+            continue;
+        }
+
+        // Numbers (integer, float, hex; pp-number-ish: consumes
+        // suffixes and exponents with their signs).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < src.size() &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            int start_line = line, start_col = col;
+            size_t j = i;
+            while (j < src.size()) {
+                char d = src[j];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    j++;
+                    continue;
+                }
+                if ((d == '+' || d == '-') && j > i &&
+                    (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                     src[j - 1] == 'p' || src[j - 1] == 'P')) {
+                    j++;
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push_back({TokKind::Number,
+                                  std::string(src.substr(i, j - i)),
+                                  start_line, start_col});
+            advance(j - i);
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if (isIdentStart(c)) {
+            int start_line = line, start_col = col;
+            size_t j = i;
+            while (j < src.size() && isIdentChar(src[j]))
+                j++;
+            out.tokens.push_back({TokKind::Ident,
+                                  std::string(src.substr(i, j - i)),
+                                  start_line, start_col});
+            advance(j - i);
+            continue;
+        }
+
+        // Punctuation: two-char operators first.
+        if (i + 1 < src.size()) {
+            std::string_view pair = src.substr(i, 2);
+            bool matched = false;
+            for (const char *op : two_char_ops) {
+                if (pair == op) {
+                    out.tokens.push_back(
+                        {TokKind::Punct, std::string(op), line, col});
+                    advance(2);
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                continue;
+        }
+        out.tokens.push_back({TokKind::Punct, std::string(1, c), line,
+                              col});
+        advance(1);
+    }
+    return out;
+}
+
+} // namespace memo::lint

@@ -105,7 +105,10 @@ class Recorder
                 const std::source_location &loc);
 
     Trace &trace_;
-    std::unordered_map<const char *, uint32_t> fileHashes;
+    // Pointer-keyed, but a pure lookup cache: the stored value is the
+    // FNV-1a hash of the string contents and the map is never
+    // iterated, so addresses never reach the trace.
+    std::unordered_map<const char *, uint32_t> fileHashes; // NOLINT(memo-DET-003)
     std::unordered_map<uint64_t, uint64_t> lineMap;
     uint64_t nextLine = 0;
 };

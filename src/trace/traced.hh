@@ -93,7 +93,9 @@ class Traced
     friend bool operator>(Traced a, Traced b) { return a.v > b.v; }
     friend bool operator<=(Traced a, Traced b) { return a.v <= b.v; }
     friend bool operator>=(Traced a, Traced b) { return a.v >= b.v; }
-    friend bool operator==(Traced a, Traced b) { return a.v == b.v; }
+    // Traced must mirror plain double semantics exactly so that the
+    // traced and untraced kernel variants take identical branches.
+    friend bool operator==(Traced a, Traced b) { return a.v == b.v; } // NOLINT(memo-FP-001)
 
   private:
     static Recorder &

@@ -118,7 +118,9 @@ runVslope(Recorder &rec, const Image &img, Image *out)
                                 2.0 * cell);
             double g = rec.fadd(rec.mul(zx, zx), rec.mul(zy, zy));
             double s = rec.mul(rec.sqrt(g), 57.29577951308232);
-            double a = zx != 0.0 ? rec.div(zy, zx) : 0.0;
+            // Exact divide-by-zero guard: != 0.0 excludes exactly
+            // the two zero encodings, bit-stable at any -O level.
+            double a = zx != 0.0 ? rec.div(zy, zx) : 0.0; // NOLINT(memo-FP-001)
             rec.store(slope.at(x, y), static_cast<float>(s));
             rec.store(aspect.at(x, y), static_cast<float>(a));
             loopStep(rec);

@@ -186,7 +186,8 @@ runVrect2pol(Recorder &rec, const Image &img, Image *out)
                                          rec.mul(im, im)));
             // Phase from the gradient ratio (atan evaluated by the
             // libm substrate; the division is the memoizable part).
-            double t = re != 0.0 ? rec.div(im, re) : 0.0;
+            // Exact divide-by-zero guard, bit-stable at any -O level.
+            double t = re != 0.0 ? rec.div(im, re) : 0.0; // NOLINT(memo-FP-001)
             double ph = std::atan(t);
             rec.store(mag.at(x, y), static_cast<float>(r));
             rec.store(phase.at(x, y), static_cast<float>(ph));
@@ -213,7 +214,8 @@ runVmpp(Recorder &rec, const Image &img, Image *out)
                                             re) * 0.125) * 8.0;
             double pw = rec.fadd(rec.mul(re, re), rec.mul(im, im));
             double db = rec.mul(10.0, rec.log(rec.fadd(pw, 1.0)));
-            double t = re != 0.0 ? rec.div(im, re) : 0.0;
+            // Exact divide-by-zero guard, bit-stable at any -O level.
+            double t = re != 0.0 ? rec.div(im, re) : 0.0; // NOLINT(memo-FP-001)
             double ph = std::atan(t);
             double norm = rec.div(pw, 65025.0); // 255^2 full scale
             rec.store(power.at(x, y),

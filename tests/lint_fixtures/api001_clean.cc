@@ -1,0 +1,14 @@
+// Fixture: memo-API-001 is scoped to src/obs and src/exec; the same
+// call from anywhere else (here: the default fixture path under
+// tests/) is not a finding.
+
+struct Table
+{
+    int stats() const;
+};
+
+int
+pollCounters(const Table &table)
+{
+    return table.stats();
+}

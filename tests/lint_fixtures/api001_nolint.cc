@@ -1,0 +1,15 @@
+// LINT-AS: src/obs/fixture_probe.cc
+// Fixture: a justified NOLINT silences memo-API-001.
+
+struct Table
+{
+    int stats() const;
+};
+
+int
+finalSnapshot(const Table &table)
+{
+    // One-shot read at end-of-run after all hooks have drained;
+    // cannot race the event stream (hypothetical justification).
+    return table.stats(); // NOLINT(memo-API-001)
+}

@@ -1,0 +1,14 @@
+// LINT-AS: src/obs/fixture_probe.cc
+// Fixture: memo-API-001 fires when the observability layer polls
+// Table::stats() instead of subscribing through TableHooks.
+
+struct Table
+{
+    int stats() const;
+};
+
+int
+pollCounters(const Table &table)
+{
+    return table.stats(); // EXPECT: memo-API-001
+}

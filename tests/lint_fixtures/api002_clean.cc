@@ -1,0 +1,9 @@
+// LINT-AS: tools/memo_known_tool.cc
+// Fixture: a tool documented in tools/README.md (the self-test uses
+// a canned registry naming memo-known-tool) is clean.
+
+int
+main()
+{
+    return 0;
+}

@@ -1,0 +1,8 @@
+// LINT-AS: tools/memo_unknown_tool.cc
+// Fixture: a justified NOLINT silences memo-API-002.
+
+int
+main() // NOLINT(memo-API-002)
+{
+    return 0;
+}

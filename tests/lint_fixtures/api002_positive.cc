@@ -1,0 +1,9 @@
+// LINT-AS: tools/memo_unknown_tool.cc
+// Fixture: memo-API-002 fires for a tool with a main() that has no
+// section in tools/README.md.
+
+int
+main() // EXPECT: memo-API-002
+{
+    return 0;
+}

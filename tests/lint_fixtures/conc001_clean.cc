@@ -1,0 +1,13 @@
+// LINT-AS: src/exec/fixture_pool.cc
+// Fixture: src/exec owns the threading primitives; memo-CONC-001 is
+// path-exempt there.
+#include <thread>
+
+void work();
+
+void
+spawnWorker()
+{
+    std::thread t(&work);
+    t.join();
+}

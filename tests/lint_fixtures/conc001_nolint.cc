@@ -1,0 +1,13 @@
+// Fixture: a justified NOLINT silences memo-CONC-001.
+#include <thread>
+
+void work();
+
+void
+spawn()
+{
+    // One-shot helper thread joined before return; never overlaps a
+    // parallelFor sweep (hypothetical justification).
+    std::thread t(&work); // NOLINT(memo-CONC-001)
+    t.join();
+}

@@ -1,0 +1,15 @@
+// Fixture: memo-CONC-001 fires on raw threading primitives outside
+// src/exec.
+#include <future>
+#include <thread>
+
+void work();
+
+void
+spawn()
+{
+    std::thread t(&work); // EXPECT: memo-CONC-001
+    t.detach(); // EXPECT: memo-CONC-001
+    auto f = std::async(&work); // EXPECT: memo-CONC-001
+    f.wait();
+}

@@ -1,0 +1,12 @@
+// Fixture: const, constexpr and atomic namespace-scope state is
+// exempt from memo-CONC-002.
+#include <atomic>
+
+namespace fixture
+{
+
+const int tableSize = 64;
+constexpr double scale = 2.0;
+std::atomic<int> liveWorkers{0};
+
+} // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a justified NOLINT silences memo-CONC-002.
+
+namespace fixture
+{
+
+// Written only during single-threaded CLI argument parsing, read-only
+// afterwards (hypothetical justification).
+int verbosity = 0; // NOLINT(memo-CONC-002)
+
+} // namespace fixture

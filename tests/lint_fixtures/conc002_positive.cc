@@ -1,0 +1,14 @@
+// Fixture: memo-CONC-002 fires on a mutable namespace-scope variable.
+
+namespace fixture
+{
+
+int callCount = 0; // EXPECT: memo-CONC-002
+
+int
+bump()
+{
+    return ++callCount;
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: const and atomic function-local statics are exempt from
+// memo-CONC-003.
+#include <atomic>
+#include <cstdint>
+
+uint64_t
+nextTicket()
+{
+    static std::atomic<uint64_t> counter{0};
+    static const uint64_t base = 1000;
+    return base + counter.fetch_add(1);
+}

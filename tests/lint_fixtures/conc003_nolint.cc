@@ -1,0 +1,15 @@
+// Fixture: a justified NOLINT silences memo-CONC-003.
+
+struct Registry
+{
+    int query() const;
+};
+
+Registry &
+globalRegistry()
+{
+    // Internally synchronized singleton (hypothetical justification,
+    // mirroring StatsRegistry::global and ThreadPool::shared).
+    static Registry registry; // NOLINT(memo-CONC-003)
+    return registry;
+}

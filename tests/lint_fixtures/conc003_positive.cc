@@ -1,0 +1,8 @@
+// Fixture: memo-CONC-003 fires on a mutable function-local static.
+
+int
+nextId()
+{
+    static int counter = 0; // EXPECT: memo-CONC-003
+    return ++counter;
+}

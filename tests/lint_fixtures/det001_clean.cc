@@ -1,0 +1,12 @@
+// Fixture: iterating a sorted std::map is the sanctioned pattern.
+#include <map>
+
+int
+total()
+{
+    std::map<int, int> hits;
+    int t = 0;
+    for (const auto &[k, v] : hits)
+        t += v;
+    return t;
+}

@@ -1,0 +1,13 @@
+// Fixture: a justified NOLINT silences memo-DET-001.
+#include <unordered_map>
+
+int
+total()
+{
+    std::unordered_map<int, int> hits;
+    int t = 0;
+    // Commutative integer sum: iteration order cannot change it.
+    for (const auto &[k, v] : hits) // NOLINT(memo-DET-001)
+        t += v;
+    return t;
+}

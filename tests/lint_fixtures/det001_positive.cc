@@ -1,0 +1,12 @@
+// Fixture: memo-DET-001 fires on range-for over an unordered map.
+#include <unordered_map>
+
+int
+total()
+{
+    std::unordered_map<int, int> hits;
+    int t = 0;
+    for (const auto &[k, v] : hits) // EXPECT: memo-DET-001
+        t += v;
+    return t;
+}

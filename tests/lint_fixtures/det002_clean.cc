@@ -1,0 +1,11 @@
+// LINT-AS: src/check/fuzz.cc
+// Fixture: the seeded fuzzer owns its randomness; memo-DET-002 is
+// path-exempt there.
+#include <random>
+
+unsigned
+fuzzEntropy()
+{
+    std::random_device rd;
+    return rd();
+}

@@ -1,0 +1,11 @@
+// Fixture: a justified NOLINT silences memo-DET-002.
+#include <random>
+
+unsigned
+entropySeed()
+{
+    // Explicitly opt-in entropy for a --seed=random CLI flag; every
+    // result is reported with the chosen seed.
+    std::random_device rd; // NOLINT(memo-DET-002)
+    return rd();
+}

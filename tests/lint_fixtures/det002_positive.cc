@@ -1,0 +1,14 @@
+// Fixture: memo-DET-002 fires on ambient randomness and wall time.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+unsigned
+seedFromEnvironment()
+{
+    std::random_device rd; // EXPECT: memo-DET-002
+    long t = time(nullptr); // EXPECT: memo-DET-002
+    auto now = std::chrono::steady_clock::now(); // EXPECT: memo-DET-002
+    (void)now;
+    return rd() + static_cast<unsigned>(t);
+}

@@ -1,0 +1,8 @@
+// Fixture: keying on a stable id instead of an address is clean.
+#include <cstdint>
+#include <unordered_map>
+
+struct Index
+{
+    std::unordered_map<uint64_t, int> byId;
+};

@@ -1,0 +1,10 @@
+// Fixture: a justified NOLINT silences memo-DET-003.
+#include <unordered_map>
+
+struct Widget;
+
+struct Index
+{
+    // Pure lookup cache: values are content hashes, never iterated.
+    std::unordered_map<const Widget *, int> byAddr; // NOLINT(memo-DET-003)
+};

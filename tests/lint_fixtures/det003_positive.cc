@@ -1,0 +1,9 @@
+// Fixture: memo-DET-003 fires on a pointer-valued container key.
+#include <unordered_map>
+
+struct Widget;
+
+struct Index
+{
+    std::unordered_map<const Widget *, int> byAddr; // EXPECT: memo-DET-003
+};

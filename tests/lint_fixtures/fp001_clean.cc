@@ -1,0 +1,11 @@
+// Fixture: bit-pattern comparison is the sanctioned exact compare.
+#include <bit>
+#include <cstdint>
+
+bool
+sameBits(double a, double b)
+{
+    uint64_t bits_a = std::bit_cast<uint64_t>(a);
+    uint64_t bits_b = std::bit_cast<uint64_t>(b);
+    return bits_a == bits_b;
+}

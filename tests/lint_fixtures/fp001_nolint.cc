@@ -1,0 +1,9 @@
+// Fixture: a justified NOLINT silences memo-FP-001.
+
+bool
+isUnitScale(double s)
+{
+    // Exact compare against the literal: trivial-operand detection
+    // matches the bit pattern, an epsilon would change the semantics.
+    return s == 1.0; // NOLINT(memo-FP-001)
+}

@@ -1,0 +1,10 @@
+// Fixture: memo-FP-001 fires on floating-point == / != comparisons.
+
+bool
+converged(double prev, double cur)
+{
+    double delta = cur - prev;
+    if (delta == 0.0) // EXPECT: memo-FP-001
+        return true;
+    return cur != prev; // EXPECT: memo-FP-001
+}

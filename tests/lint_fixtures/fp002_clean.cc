@@ -1,0 +1,19 @@
+// Fixture: index-aligned slots + fixed-order reduction is the
+// sanctioned exec::sweep pattern.
+#include <cstddef>
+#include <vector>
+
+void parallelFor(size_t lo, size_t hi, void (*fn)(size_t));
+
+double
+sumWeights(const double *w, size_t n)
+{
+    std::vector<double> slot(n, 0.0);
+    parallelFor(0, n, [&](size_t i) {
+        slot[i] = w[i];
+    });
+    double total = 0.0;
+    for (size_t i = 0; i < n; i++)
+        total += slot[i];
+    return total;
+}

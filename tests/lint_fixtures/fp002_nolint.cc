@@ -1,0 +1,16 @@
+// Fixture: a justified NOLINT silences memo-FP-002.
+#include <cstddef>
+
+void parallelFor(size_t lo, size_t hi, void (*fn)(size_t));
+
+double
+sumWeights(const double *w, size_t n)
+{
+    double total = 0.0;
+    parallelFor(0, n, [&](size_t i) {
+        // Guarded by an external mutex and re-reduced in index order
+        // before anything reads it (hypothetical justification).
+        total += w[i]; // NOLINT(memo-FP-002)
+    });
+    return total;
+}

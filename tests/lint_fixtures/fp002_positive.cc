@@ -1,0 +1,15 @@
+// Fixture: memo-FP-002 fires on a float accumulator folded inside a
+// parallelFor body (fold order follows worker scheduling).
+#include <cstddef>
+
+void parallelFor(size_t lo, size_t hi, void (*fn)(size_t));
+
+double
+sumWeights(const double *w, size_t n)
+{
+    double total = 0.0;
+    parallelFor(0, n, [&](size_t i) {
+        total += w[i]; // EXPECT: memo-FP-002
+    });
+    return total;
+}

@@ -112,6 +112,23 @@ TEST(Entropy, WindowEntropyBelowFullForSortedImage)
     EXPECT_GT(imageEntropy(img), windowEntropy(img, 8));
 }
 
+TEST(Entropy, BitExactForPowerOfTwoAlphabet)
+{
+    // Four equally likely symbols: p = 1/4 and log2(1/4) = -2 are
+    // exact in binary floating point, so the entropy must be exactly
+    // 2.0 — no tolerance. The histogram used to be an unordered_map,
+    // which made the summation order (and the low bits of the result)
+    // depend on the standard library; it now folds in sorted key
+    // order (memo-lint DET-001/FP-002 regression).
+    Image img(2, 2);
+    img.at(0, 0) = 0;
+    img.at(1, 0) = 64;
+    img.at(0, 1) = 128;
+    img.at(1, 1) = 192;
+    EXPECT_EQ(imageEntropy(img), 2.0);
+    EXPECT_EQ(windowEntropy(img, 2), 2.0);
+}
+
 TEST(Entropy, FloatImagesHaveNoEntropy)
 {
     Image img(8, 8, 1, PixelType::Float);

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * memo-lint unit tests: lexer, suppressions, every rule family,
+ * baseline ratchet + policy, emitters, and the self-run that holds
+ * the whole repository to the committed lint-baseline.json.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/analyzer.hh"
+#include "lint/baseline.hh"
+#include "lint/driver.hh"
+#include "lint/emit.hh"
+#include "lint/lexer.hh"
+#include "lint/rules.hh"
+
+using namespace memo::lint;
+
+namespace
+{
+
+/** Rule ids of the findings for @p source at @p relPath, sorted. */
+std::vector<std::string>
+ruleIdsOf(const std::string &source,
+          const std::string &relPath = "src/sim/example.cc")
+{
+    AnalyzerOptions opt;
+    opt.relPath = relPath;
+    std::vector<std::string> ids;
+    for (const Finding &f : analyzeFile(source, opt))
+        ids.push_back(f.rule->id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------- lexer
+
+TEST(LintLexer, TokenKindsAndPositions)
+{
+    LexResult lr = lex("int x = 42;\ndouble y = 1.5e-3;");
+    ASSERT_GE(lr.tokens.size(), 10u);
+    EXPECT_EQ(lr.tokens[0].text, "int");
+    EXPECT_EQ(lr.tokens[0].kind, TokKind::Ident);
+    EXPECT_EQ(lr.tokens[0].line, 1);
+    EXPECT_EQ(lr.tokens[3].text, "42");
+    EXPECT_EQ(lr.tokens[3].kind, TokKind::Number);
+    // The exponent sign stays glued to the number.
+    bool found = false;
+    for (const Token &t : lr.tokens)
+        if (t.text == "1.5e-3") {
+            found = true;
+            EXPECT_EQ(t.kind, TokKind::Number);
+            EXPECT_EQ(t.line, 2);
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, CommentsAreCapturedNotTokenized)
+{
+    LexResult lr = lex("// line one\nint a; /* block\nspan */ int b;");
+    ASSERT_EQ(lr.comments.size(), 2u);
+    EXPECT_EQ(lr.comments[0].text, " line one");
+    EXPECT_EQ(lr.comments[0].line, 1);
+    EXPECT_EQ(lr.comments[1].line, 2);
+    EXPECT_EQ(lr.comments[1].endLine, 3);
+    for (const Token &t : lr.tokens)
+        EXPECT_NE(t.text, "span");
+}
+
+TEST(LintLexer, PreprocessorLinesAreOpaque)
+{
+    // Nothing inside an #include or a multi-line #define may feed a
+    // rule: the whole directive is one Preproc token.
+    LexResult lr =
+        lex("#include <unordered_map>\n#define F(x) \\\n  rand()\n");
+    ASSERT_EQ(lr.tokens.size(), 2u);
+    EXPECT_EQ(lr.tokens[0].kind, TokKind::Preproc);
+    EXPECT_EQ(lr.tokens[0].text, "include");
+    EXPECT_EQ(lr.tokens[1].text, "define");
+    EXPECT_TRUE(ruleIdsOf("#define SEED rand()\n").empty());
+}
+
+TEST(LintLexer, StringsAndRawStringsAreSingleTokens)
+{
+    LexResult lr = lex("auto s = R\"(a == 1.0)\"; auto t = \"x==y\";");
+    int strings = 0;
+    for (const Token &t : lr.tokens)
+        if (t.kind == TokKind::String)
+            strings++;
+    EXPECT_EQ(strings, 2);
+    // Float equality inside literals must not fire FP-001.
+    EXPECT_TRUE(ruleIdsOf("const char *s = \"x == 1.0\";").empty());
+}
+
+TEST(LintLexer, TwoCharOperatorsStayWhole)
+{
+    LexResult lr = lex("a += b; c == d; e <= f;");
+    std::vector<std::string> ops;
+    for (const Token &t : lr.tokens)
+        if (t.kind == TokKind::Punct && t.text.size() == 2)
+            ops.push_back(t.text);
+    EXPECT_EQ(ops, (std::vector<std::string>{"+=", "==", "<="}));
+}
+
+// --------------------------------------------------------- suppressions
+
+TEST(LintSuppress, TrailingNolintSilencesTheLine)
+{
+    std::string hit = "void f() {\n"
+                      "    std::unordered_map<int, int> m;\n"
+                      "    for (auto &kv : m) { (void)kv; }\n"
+                      "}\n";
+    EXPECT_EQ(ruleIdsOf(hit),
+              (std::vector<std::string>{"memo-DET-001"}));
+    std::string supp = "void f() {\n"
+                       "    std::unordered_map<int, int> m;\n"
+                       "    for (auto &kv : m) { (void)kv; } "
+                       "// NOLINT(memo-DET-001)\n"
+                       "}\n";
+    EXPECT_TRUE(ruleIdsOf(supp).empty());
+}
+
+TEST(LintSuppress, NolintNextline)
+{
+    std::string supp = "void f() {\n"
+                       "    std::unordered_map<int, int> m;\n"
+                       "    // NOLINTNEXTLINE(memo-DET-001)\n"
+                       "    for (auto &kv : m) { (void)kv; }\n"
+                       "}\n";
+    EXPECT_TRUE(ruleIdsOf(supp).empty());
+}
+
+TEST(LintSuppress, RuleListIsSelective)
+{
+    // A NOLINT for an unrelated rule must not suppress the finding.
+    std::string wrong = "void f() {\n"
+                        "    std::unordered_map<int, int> m;\n"
+                        "    for (auto &kv : m) { (void)kv; } "
+                        "// NOLINT(memo-FP-001)\n"
+                        "}\n";
+    EXPECT_EQ(ruleIdsOf(wrong),
+              (std::vector<std::string>{"memo-DET-001"}));
+    // A blanket NOLINT suppresses everything on the line.
+    std::string blanket = "void f() {\n"
+                          "    std::unordered_map<int, int> m;\n"
+                          "    for (auto &kv : m) { (void)kv; } "
+                          "// NOLINT\n"
+                          "}\n";
+    EXPECT_TRUE(ruleIdsOf(blanket).empty());
+}
+
+// ---------------------------------------------------------------- rules
+
+TEST(LintRules, CatalogIsConsistent)
+{
+    for (const RuleInfo &r : ruleCatalog()) {
+        EXPECT_EQ(findRule(r.id), &r);
+        // DET and CONC are the hard determinism contract: errors.
+        std::string fam = r.family;
+        if (fam == "DET" || fam == "CONC") {
+            EXPECT_EQ(r.severity, Severity::Error) << r.id;
+        }
+    }
+    EXPECT_EQ(findRule("memo-NOPE-999"), nullptr);
+}
+
+TEST(LintRules, Det002SkipsTheSeededFuzzer)
+{
+    std::string src = "unsigned f() { std::random_device rd; "
+                      "return rd(); }\n";
+    EXPECT_EQ(ruleIdsOf(src),
+              (std::vector<std::string>{"memo-DET-002"}));
+    EXPECT_TRUE(ruleIdsOf(src, "src/check/fuzz.cc").empty());
+}
+
+TEST(LintRules, Det003PointerKey)
+{
+    EXPECT_EQ(
+        ruleIdsOf("struct S {\n"
+                  "    std::unordered_map<const char *, int> m;\n"
+                  "};\n"),
+        (std::vector<std::string>{"memo-DET-003"}));
+    EXPECT_TRUE(
+        ruleIdsOf("void f() { std::unordered_map<int, int> m; }")
+            .empty());
+}
+
+TEST(LintRules, Fp001TracksDeclaredFloats)
+{
+    EXPECT_EQ(ruleIdsOf("bool f(double a, double b) "
+                        "{ return a == b; }"),
+              (std::vector<std::string>{"memo-FP-001"}));
+    // Integer re-declaration wins over a stale float of the same
+    // name from an earlier function.
+    EXPECT_TRUE(ruleIdsOf("bool f(double a) { return a < 0.0; }\n"
+                          "bool g(int64_t a) { return a == 1; }\n")
+                    .empty());
+}
+
+TEST(LintRules, Fp002AccumulationInParallelBody)
+{
+    std::string src = "double f(const double *w, size_t n) {\n"
+                      "    double total = 0.0;\n"
+                      "    parallelFor(0, n, [&](size_t i) "
+                      "{ total += w[i]; });\n"
+                      "    return total;\n"
+                      "}\n";
+    EXPECT_EQ(ruleIdsOf(src),
+              (std::vector<std::string>{"memo-FP-002"}));
+    // Index-aligned writes are the sanctioned pattern.
+    std::string ok = "void f(double *out, const double *w, size_t n) "
+                     "{\n"
+                     "    parallelFor(0, n, [&](size_t i) "
+                     "{ out[i] = w[i]; });\n"
+                     "}\n";
+    EXPECT_TRUE(ruleIdsOf(ok).empty());
+}
+
+TEST(LintRules, Conc001PathScoped)
+{
+    std::string src =
+        "void f() { std::thread t(&f); t.join(); }\n";
+    EXPECT_EQ(ruleIdsOf(src),
+              (std::vector<std::string>{"memo-CONC-001"}));
+    EXPECT_TRUE(ruleIdsOf(src, "src/exec/thread_pool.cc").empty());
+    // hardware_concurrency() is a query, not a spawned thread.
+    EXPECT_TRUE(
+        ruleIdsOf("unsigned f() "
+                  "{ return std::thread::hardware_concurrency(); }")
+            .empty());
+}
+
+TEST(LintRules, Conc002ExemptsAtomicsAndConst)
+{
+    EXPECT_EQ(ruleIdsOf("namespace x { int counter = 0; }"),
+              (std::vector<std::string>{"memo-CONC-002"}));
+    EXPECT_TRUE(
+        ruleIdsOf("namespace x { std::atomic<int> counter{0}; }")
+            .empty());
+    EXPECT_TRUE(
+        ruleIdsOf("namespace x { const int table_size = 64; }")
+            .empty());
+    EXPECT_TRUE(
+        ruleIdsOf("namespace x { constexpr double scale = 2.0; }")
+            .empty());
+}
+
+TEST(LintRules, Conc003LocalStatics)
+{
+    EXPECT_EQ(
+        ruleIdsOf("int f() { static int n = 0; return ++n; }"),
+        (std::vector<std::string>{"memo-CONC-003"}));
+    EXPECT_TRUE(
+        ruleIdsOf("int f() { static const int n = 3; return n; }")
+            .empty());
+    EXPECT_TRUE(ruleIdsOf("int f() { static std::atomic<int> n{0}; "
+                          "return n.load(); }")
+                    .empty());
+}
+
+TEST(LintRules, Api001OnlyInObsAndExec)
+{
+    std::string src = "int f(Table &t) { return t.stats(); }\n";
+    EXPECT_EQ(ruleIdsOf(src, "src/obs/tracer.cc"),
+              (std::vector<std::string>{"memo-API-001"}));
+    EXPECT_TRUE(ruleIdsOf(src, "src/sim/runner.cc").empty());
+}
+
+TEST(LintRules, Api002ChecksToolRegistration)
+{
+    AnalyzerOptions opt;
+    opt.relPath = "tools/memo_mystery.cc";
+    opt.toolsReadme = "## memo-sim blah\n";
+    std::vector<Finding> fs =
+        analyzeFile("int main() { return 0; }\n", opt);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_STREQ(fs[0].rule->id, "memo-API-002");
+
+    opt.toolsReadme = "## memo-mystery — documented\n";
+    EXPECT_TRUE(analyzeFile("int main() { return 0; }\n", opt).empty());
+}
+
+TEST(LintRules, LintAsOverride)
+{
+    EXPECT_EQ(lintAsOverride("// LINT-AS: src/exec/x.cc\nint a;"),
+              "src/exec/x.cc");
+    EXPECT_EQ(lintAsOverride("int a;\n"), "");
+}
+
+// ------------------------------------------------------------- baseline
+
+TEST(LintBaseline, RoundTrip)
+{
+    Baseline b;
+    std::string err;
+    ASSERT_TRUE(b.parse("{\"version\": 1, \"findings\": ["
+                        "{\"rule\": \"memo-FP-001\", "
+                        "\"file\": \"src/a.cc\", \"count\": 2}]}",
+                        err))
+        << err;
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(b.count("memo-FP-001", "src/a.cc"), 2u);
+    EXPECT_EQ(b.count("memo-FP-001", "src/b.cc"), 0u);
+
+    Baseline b2;
+    ASSERT_TRUE(b2.parse(b.serialize(), err)) << err;
+    EXPECT_EQ(b2.serialize(), b.serialize());
+}
+
+TEST(LintBaseline, ParseRejectsGarbage)
+{
+    Baseline b;
+    std::string err;
+    EXPECT_FALSE(b.parse("not json", err));
+    EXPECT_FALSE(b.parse("{\"version\": 1", err));
+}
+
+TEST(LintBaseline, FilterAbsorbsUpToCount)
+{
+    const RuleInfo *fp = findRule("memo-FP-001");
+    std::vector<Finding> fs = {
+        {fp, "src/a.cc", 1, 1, "one"},
+        {fp, "src/a.cc", 9, 1, "two"},
+    };
+    Baseline b;
+    std::string err;
+    ASSERT_TRUE(b.parse("{\"version\": 1, \"findings\": ["
+                        "{\"rule\": \"memo-FP-001\", "
+                        "\"file\": \"src/a.cc\", \"count\": 1}]}",
+                        err));
+    std::vector<Finding> fresh = b.filter(fs);
+    ASSERT_EQ(fresh.size(), 1u);
+    EXPECT_EQ(fresh[0].message, "two");
+}
+
+TEST(LintBaseline, PolicyRejectsDetAndConcEntries)
+{
+    // The ratchet may tolerate FP/API debt, never DET/CONC: those
+    // must be fixed or explicitly NOLINT-justified in the code.
+    Baseline b;
+    std::string err;
+    ASSERT_TRUE(b.parse("{\"version\": 1, \"findings\": ["
+                        "{\"rule\": \"memo-DET-001\", "
+                        "\"file\": \"src/a.cc\", \"count\": 1},"
+                        "{\"rule\": \"memo-API-001\", "
+                        "\"file\": \"src/b.cc\", \"count\": 1}]}",
+                        err));
+    std::vector<std::string> bad = b.errorSeverityEntries();
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_NE(bad[0].find("memo-DET-001"), std::string::npos);
+}
+
+// ------------------------------------------------------------- emitters
+
+TEST(LintEmit, JsonEscaping)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(LintEmit, JsonAndSarifShape)
+{
+    const RuleInfo *det = findRule("memo-DET-001");
+    std::vector<Finding> fs = {{det, "src/a.cc", 3, 7, "msg"}};
+
+    std::ostringstream js;
+    emitJson(js, fs);
+    EXPECT_NE(js.str().find("\"rule\": \"memo-DET-001\""),
+              std::string::npos);
+    EXPECT_NE(js.str().find("\"line\": 3"), std::string::npos);
+
+    std::ostringstream sf;
+    emitSarif(sf, fs);
+    EXPECT_NE(sf.str().find("\"version\": \"2.1.0\""),
+              std::string::npos);
+    EXPECT_NE(sf.str().find("\"ruleId\": \"memo-DET-001\""),
+              std::string::npos);
+    // The catalog rides along for code-scanning UIs.
+    EXPECT_NE(sf.str().find("memo-CONC-001"), std::string::npos);
+}
+
+// ------------------------------------------------------------- self-run
+
+TEST(LintSelfRun, RepoMatchesCommittedBaseline)
+{
+    DriverConfig cfg;
+    cfg.root = MEMO_SOURCE_DIR;
+    cfg.paths = {std::string(MEMO_SOURCE_DIR) + "/src",
+                 std::string(MEMO_SOURCE_DIR) + "/tools"};
+    cfg.baselinePath =
+        std::string(MEMO_SOURCE_DIR) + "/lint-baseline.json";
+    std::ostringstream out, err;
+    EXPECT_EQ(runLint(cfg, out, err), 0)
+        << "new lint findings:\n"
+        << out.str() << err.str();
+}
+
+TEST(LintSelfRun, CommittedBaselineCarriesNoErrorSeverityDebt)
+{
+    std::ifstream in(std::string(MEMO_SOURCE_DIR) +
+                     "/lint-baseline.json");
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    Baseline b;
+    std::string err;
+    ASSERT_TRUE(b.parse(ss.str(), err)) << err;
+    EXPECT_TRUE(b.errorSeverityEntries().empty());
+}
+
+TEST(LintSelfRun, FixturesSatisfyTheirExpectations)
+{
+    DriverConfig cfg;
+    cfg.root = MEMO_SOURCE_DIR;
+    cfg.selfTestDir =
+        std::string(MEMO_SOURCE_DIR) + "/tests/lint_fixtures";
+    std::ostringstream out, err;
+    EXPECT_EQ(runLint(cfg, out, err), 0) << err.str();
+}

@@ -144,6 +144,27 @@ TEST(Reuse, HottestPairs)
     EXPECT_EQ(hot[1].count, 5u);
 }
 
+TEST(Reuse, HottestPairsDeterministicTieOrder)
+{
+    // Pairs with equal counts must come back in operand order, not
+    // in the hash map's iteration order: the old comparator sorted
+    // by count alone, so which tied pair ranked first varied across
+    // standard libraries (memo-lint DET-001 regression).
+    Trace trace;
+    Recorder rec(trace);
+    for (double a : {9.0, 5.0, 3.0, 7.0}) {
+        rec.div(a, 2.0);
+        rec.div(a, 2.0);
+    }
+    auto hot = hottestPairs(trace, Operation::FpDiv, 4);
+    ASSERT_EQ(hot.size(), 4u);
+    for (size_t i = 0; i < hot.size(); i++)
+        EXPECT_EQ(hot[i].count, 2u);
+    // Positive doubles order the same by bits as by value.
+    for (size_t i = 1; i < hot.size(); i++)
+        EXPECT_LT(hot[i - 1].aBits, hot[i].aBits);
+}
+
 TEST(Reuse, HottestPairsCommutative)
 {
     Trace trace;

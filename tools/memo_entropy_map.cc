@@ -16,7 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <unordered_map>
+#include <map>
 
 #include "img/entropy.hh"
 #include "img/generate.hh"
@@ -31,7 +31,7 @@ namespace
 double
 tileEntropy(const Image &img, int x0, int y0, int window)
 {
-    std::unordered_map<int, uint64_t> hist;
+    std::map<int, uint64_t> hist;
     uint64_t n = 0;
     int x1 = std::min(x0 + window, img.width());
     int y1 = std::min(y0 + window, img.height());
