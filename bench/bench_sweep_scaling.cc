@@ -3,37 +3,36 @@
  * Executor scaling harness: runs the Figure 3 table-geometry sweep
  * (5 kernels x 11 table sizes) serially and in parallel, verifies the
  * two runs produce bit-identical hit ratios, and emits machine-
- * readable wall-clock timings (BENCH_sweep.json) so the perf
- * trajectory of the reproduction suite is tracked across PRs.
+ * readable wall-clock timings (BENCH_sweep.json, under the shared
+ * schema of prof/bench_record.hh) so the perf trajectory of the
+ * reproduction suite is tracked across PRs — and can be gated with
+ * `memo-bench --check` against any BENCH_*.json history.
  *
  * Usage: bench_sweep_scaling [output.json] [jobs]
  *   output.json  defaults to BENCH_sweep.json in the CWD
  *   jobs         parallel worker count (default 8, capped by the pool)
  */
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <thread>
 
 #include "common.hh"
 #include "exec/parallel.hh"
 #include "exec/trace_cache.hh"
+#include "prof/prof.hh"
 
 using namespace memo;
 
 namespace
 {
 
-using Clock = std::chrono::steady_clock;
-
 double
-seconds(Clock::time_point t0, Clock::time_point t1)
+secondsSince(uint64_t t0_ns)
 {
-    return std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(prof::nowNs() - t0_ns) / 1e9;
 }
 
 /** The Figure 3 sweep geometry: 4-way tables, 8..8192 entries. */
@@ -93,6 +92,17 @@ identical(const std::vector<UnitHits> &a, const std::vector<UnitHits> &b)
     return true;
 }
 
+/** One single-sample record of the "sweep" suite. */
+prof::BenchRecord
+phaseRecord(const std::string &scenario, unsigned jobs, double sec)
+{
+    prof::BenchRecord r = bench::makeBenchRecord(scenario, "sweep", jobs);
+    r.reps = 1;
+    r.samplesSec = {sec};
+    prof::summarizeSamples(r);
+    return r;
+}
+
 } // anonymous namespace
 
 int
@@ -115,7 +125,7 @@ main(int argc, char **argv)
     // Warm the trace cache first so both timed runs measure pure
     // sweep execution, not trace generation; generation itself fans
     // out across (kernel, image) pairs.
-    auto t0 = Clock::now();
+    uint64_t t0 = prof::nowNs();
     exec::parallelFor(
         kernels.size() * standardImages().size(),
         [&](size_t i) {
@@ -126,21 +136,22 @@ main(int argc, char **argv)
             cachedMmKernelTrace(k, ni, bench::benchCrop);
         },
         jobs);
-    auto t1 = Clock::now();
-    double gen_s = seconds(t0, t1);
+    double gen_s = secondsSince(t0);
 
-    t0 = Clock::now();
+    t0 = prof::nowNs();
     auto serial = runSweep(kernels, cfgs, 1);
-    t1 = Clock::now();
-    double serial_s = seconds(t0, t1);
+    double serial_s = secondsSince(t0);
 
-    t0 = Clock::now();
+    t0 = prof::nowNs();
     auto parallel = runSweep(kernels, cfgs, jobs);
-    t1 = Clock::now();
-    double parallel_s = seconds(t0, t1);
+    double parallel_s = secondsSince(t0);
 
     bool det = identical(serial, parallel);
     double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+    double sweep_points =
+        static_cast<double>(kernels.size() * cfgs.size());
+    double resident_mb = static_cast<double>(
+        exec::TraceCache::instance().residentBytes() / (1024 * 1024));
 
     TextTable t({"metric", "value"});
     t.addRow({"sweep points",
@@ -155,23 +166,21 @@ main(int argc, char **argv)
     t.addRow({"deterministic", det ? "yes" : "NO (BUG)"});
     t.print(std::cout);
 
-    std::ofstream out(out_path);
-    out << "{\n"
-        << "  \"bench\": \"fig3_sweep\",\n"
-        << "  \"sweep_points\": " << kernels.size() * cfgs.size()
-        << ",\n"
-        << "  \"trace_gen_seconds\": " << gen_s << ",\n"
-        << "  \"serial_seconds\": " << serial_s << ",\n"
-        << "  \"parallel_seconds\": " << parallel_s << ",\n"
-        << "  \"jobs\": " << jobs << ",\n"
-        << "  \"hardware_threads\": "
-        << std::thread::hardware_concurrency() << ",\n"
-        << "  \"speedup\": " << speedup << ",\n"
-        << "  \"deterministic\": " << (det ? "true" : "false") << ",\n"
-        << "  \"trace_cache_resident_mb\": "
-        << exec::TraceCache::instance().residentBytes() / (1024 * 1024)
-        << "\n}\n";
-    std::cout << "\nwrote " << out_path << "\n";
+    prof::BenchRecord gen = phaseRecord("sweep_trace_gen", jobs, gen_s);
+    gen.extra["sweepPoints"] = sweep_points;
+    gen.extra["traceCacheResidentMb"] = resident_mb;
+
+    prof::BenchRecord ser = phaseRecord("sweep_serial", 1, serial_s);
+    ser.extra["sweepPoints"] = sweep_points;
+    ser.extra["deterministic"] = det ? 1.0 : 0.0;
+
+    prof::BenchRecord par = phaseRecord("sweep_parallel", jobs,
+                                        parallel_s);
+    par.extra["sweepPoints"] = sweep_points;
+    par.extra["speedup"] = speedup;
+    par.extra["deterministic"] = det ? 1.0 : 0.0;
+
+    bench::writeBenchRecords(out_path, {gen, ser, par});
 
     return det ? 0 : 1;
 }

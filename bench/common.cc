@@ -1,6 +1,7 @@
 #include "common.hh"
 
 #include <iostream>
+#include <stdexcept>
 
 #include "img/generate.hh"
 
@@ -86,6 +87,27 @@ printSpeedups(const check::SpeedupResult &r, const std::string &fast_tag,
                            "", "", TextTable::fixed(r.avgSlow, 2), ""});
     t.addRow(avg);
     t.print(std::cout);
+}
+
+prof::BenchRecord
+makeBenchRecord(const std::string &scenario, const std::string &suite,
+                unsigned jobs)
+{
+    prof::BenchRecord r;
+    r.scenario = scenario;
+    r.suite = suite;
+    r.jobs = jobs;
+    r.env = prof::EnvManifest::collect();
+    return r;
+}
+
+void
+writeBenchRecords(const std::string &path,
+                  const std::vector<prof::BenchRecord> &records)
+{
+    if (!prof::writeBenchFile(path, records))
+        throw std::runtime_error("cannot write " + path);
+    std::cout << "\nwrote " << path << "\n";
 }
 
 } // namespace memo::bench

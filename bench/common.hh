@@ -19,6 +19,7 @@
 #include "check/golden.hh"
 #include "check/measure.hh"
 #include "img/generate.hh"
+#include "prof/bench_record.hh"
 #include "sim/cpu.hh"
 #include "workloads/workload.hh"
 
@@ -52,6 +53,24 @@ void printSciSuite(const std::vector<SciWorkload> &suite);
 void printSpeedups(const check::SpeedupResult &r,
                    const std::string &fast_tag,
                    const std::string &slow_tag);
+
+/**
+ * Start one timing record under the shared BENCH_*.json schema
+ * (prof/bench_record.hh): scenario/suite/jobs filled in, the
+ * environment manifest attached. Callers push samples into
+ * samplesSec and finish with prof::summarizeSamples.
+ */
+prof::BenchRecord makeBenchRecord(const std::string &scenario,
+                                  const std::string &suite,
+                                  unsigned jobs);
+
+/**
+ * Write @p records to @p path as the canonical schema-versioned
+ * document (the same writer memo-bench uses for BENCH_history.json)
+ * and log the path. Throws on I/O failure.
+ */
+void writeBenchRecords(const std::string &path,
+                       const std::vector<prof::BenchRecord> &records);
 
 } // namespace memo::bench
 

@@ -677,6 +677,8 @@ fuzz(const FuzzOptions &opts, std::ostream *log)
             }
             return f;
         }
+        if (opts.progress)
+            opts.progress->fetch_add(1, std::memory_order_relaxed);
         if (log && opts.verbose && (i + 1) % 1000 == 0)
             *log << "  ..." << (i + 1) << "/" << opts.iters
                  << " cases ok\n";

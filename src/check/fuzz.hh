@@ -24,6 +24,7 @@
 #ifndef MEMO_CHECK_FUZZ_HH
 #define MEMO_CHECK_FUZZ_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -68,6 +69,12 @@ struct FuzzOptions
     /** Accesses per fuzz case. */
     unsigned streamLen = 256;
     bool verbose = false;
+    /**
+     * Optional progress sink: fuzz() adds 1 per completed case when
+     * non-null (display only; verdicts never depend on it). The
+     * memo-fuzz --progress flag wires a prof::Heartbeat counter here.
+     */
+    std::atomic<uint64_t> *progress = nullptr;
 };
 
 /** A reproduced invariant violation. */

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
+
+#include "obs/stats.hh"
+#include "prof/prof.hh"
 
 namespace memo::exec
 {
@@ -18,8 +22,9 @@ ThreadPool::ThreadPool(unsigned threads)
     if (threads == 0)
         threads = defaultJobs();
     workers.reserve(threads);
+    wstats.resize(threads);
     for (unsigned i = 0; i < threads; i++)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -51,28 +56,70 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
     in_worker = true;
     for (;;) {
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lk(m);
+            // Clock reads only while the host profiler is on: with
+            // profiling off the wait is exactly the uninstrumented
+            // one (determinism contract, see WorkerStats).
+            uint64_t w0 = prof::Profiler::global().enabled()
+                              ? prof::nowNs()
+                              : 0;
             work_cv.wait(lk,
                          [this] { return stopping || !queue.empty(); });
+            if (w0)
+                wstats[index].idleNs += prof::nowNs() - w0;
             if (queue.empty())
                 return; // stopping and drained
             task = std::move(queue.front());
             queue.pop_front();
             active++;
         }
+        uint64_t t0 = prof::Profiler::global().enabled()
+                          ? prof::nowNs()
+                          : 0;
         task();
         {
             std::lock_guard<std::mutex> lk(m);
+            if (t0)
+                wstats[index].busyNs += prof::nowNs() - t0;
+            wstats[index].tasks++;
             active--;
         }
         idle_cv.notify_all();
     }
+}
+
+std::vector<ThreadPool::WorkerStats>
+ThreadPool::workerStats() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return wstats;
+}
+
+void
+ThreadPool::publishUtilization(obs::StatsRegistry &reg) const
+{
+    std::vector<WorkerStats> snap = workerStats();
+    uint64_t tasks = 0, busy = 0, idle = 0;
+    for (size_t i = 0; i < snap.size(); i++) {
+        std::string prefix =
+            "exec.pool.worker" + std::to_string(i) + ".";
+        reg.gaugeMax(prefix + "tasks", snap[i].tasks);
+        reg.gaugeMax(prefix + "busyNs", snap[i].busyNs);
+        reg.gaugeMax(prefix + "idleNs", snap[i].idleNs);
+        tasks += snap[i].tasks;
+        busy += snap[i].busyNs;
+        idle += snap[i].idleNs;
+    }
+    reg.gaugeMax("exec.pool.size", snap.size());
+    reg.gaugeMax("exec.pool.tasks", tasks);
+    reg.gaugeMax("exec.pool.busyNs", busy);
+    reg.gaugeMax("exec.pool.idleNs", idle);
 }
 
 unsigned

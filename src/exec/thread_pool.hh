@@ -14,11 +14,17 @@
 #define MEMO_EXEC_THREAD_POOL_HH
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace memo::obs
+{
+class StatsRegistry;
+} // namespace memo::obs
 
 namespace memo::exec
 {
@@ -65,12 +71,42 @@ class ThreadPool
      */
     static bool inWorker();
 
+    /**
+     * Per-worker utilization accounting. Task pulls from the shared
+     * FIFO are always counted (one mutex-protected increment the
+     * worker pays anyway); busy/idle wall time is measured only while
+     * the process-wide profiler is enabled (prof::enabled()), so with
+     * profiling off the pool performs no clock reads and its behavior
+     * is byte-for-byte the pre-instrumentation one.
+     */
+    struct WorkerStats
+    {
+        uint64_t tasks = 0;  //!< tasks this worker pulled and ran
+        uint64_t busyNs = 0; //!< wall time inside tasks (profiled)
+        uint64_t idleNs = 0; //!< wall time waiting for work (profiled)
+    };
+
+    /** Snapshot of every worker's accounting. */
+    std::vector<WorkerStats> workerStats() const;
+
+    /**
+     * Fold worker accounting into @p reg: per-worker gauges
+     * (exec.pool.worker<i>.{tasks,busyNs,idleNs}) plus the aggregate
+     * exec.pool.{size,tasks,busyNs,idleNs}. Gauges take the max, so
+     * repeated publication is idempotent. Scheduling-dependent by
+     * nature — callers must not publish into a registry whose
+     * snapshots feed determinism diffs (the --profile paths are the
+     * only callers).
+     */
+    void publishUtilization(obs::StatsRegistry &reg) const;
+
   private:
-    void workerLoop();
+    void workerLoop(unsigned index);
 
     std::vector<std::thread> workers;
+    std::vector<WorkerStats> wstats; //!< one slot per worker; `m`
     std::deque<std::function<void()>> queue;
-    std::mutex m;
+    mutable std::mutex m;
     std::condition_variable work_cv;  //!< queue became non-empty / stop
     std::condition_variable idle_cv;  //!< a task finished / queue drained
     size_t active = 0;                //!< tasks currently executing

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/stats.hh"
+
 namespace memo::exec
 {
 
@@ -81,6 +83,7 @@ TraceCache::evictOverBudget(const std::shared_ptr<Slot> &keep)
         totalBytes -= it->second->bytes;
         map.erase(it->first);
         it = lru.erase(it);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -96,6 +99,16 @@ TraceCache::residentBytes() const
 {
     std::lock_guard<std::mutex> lk(m);
     return totalBytes;
+}
+
+void
+TraceCache::publishStats(obs::StatsRegistry &reg) const
+{
+    reg.gaugeMax("exec.traceCache.hits", hits());
+    reg.gaugeMax("exec.traceCache.misses", misses());
+    reg.gaugeMax("exec.traceCache.evictions", evictions());
+    reg.gaugeMax("exec.traceCache.entries", entries());
+    reg.gaugeMax("exec.traceCache.residentBytes", residentBytes());
 }
 
 void

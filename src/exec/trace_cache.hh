@@ -34,6 +34,11 @@
 
 #include "trace/trace.hh"
 
+namespace memo::obs
+{
+class StatsRegistry;
+} // namespace memo::obs
+
 namespace memo::exec
 {
 
@@ -94,8 +99,29 @@ class TraceCache
     /** Times a generator was invoked. */
     uint64_t generated() const { return generated_.load(); }
 
+    /**
+     * Lookups that had to generate: identical to generated() — every
+     * miss runs the generator exactly once — named for symmetry with
+     * hits() in the published counters.
+     */
+    uint64_t misses() const { return generated_.load(); }
+
     /** Lookups served from a resident entry. */
     uint64_t hits() const { return hits_.load(); }
+
+    /** Entries dropped by the LRU budget walk (not by clear()). */
+    uint64_t evictions() const { return evictions_.load(); }
+
+    /**
+     * Fold the cache counters into @p reg as gauges
+     * (exec.traceCache.{hits,misses,evictions,entries,
+     * residentBytes}). Gauges take the max, so repeated publication
+     * is idempotent. Eviction order is scheduling-dependent under
+     * concurrency, so callers must keep these out of registries whose
+     * snapshots feed determinism diffs (memo-report's stdout summary
+     * and the --profile paths are the intended consumers).
+     */
+    void publishStats(obs::StatsRegistry &reg) const;
 
     /** Drop every resident entry (shared holders stay valid). */
     void clear();
@@ -121,6 +147,7 @@ class TraceCache
     size_t budget;
     std::atomic<uint64_t> generated_{0};
     std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> evictions_{0};
 };
 
 } // namespace memo::exec

@@ -490,6 +490,9 @@ struct Pass
             opt.relPath == "src/check/fuzz.hh" ||
             opt.relPath == "tools/memo_fuzz.cc")
             return; // the seeded fuzzer owns its randomness
+        if (opt.relPath.rfind("src/prof/", 0) == 0)
+            return; // the host profiler owns the sanctioned wall clock
+                    // (prof::nowNs); see src/prof/prof.hh
         static const std::set<std::string> clocks = {
             "system_clock", "steady_clock", "high_resolution_clock",
             "file_clock",   "utc_clock",    "tai_clock",

@@ -46,21 +46,29 @@ EventTracer::clear()
 }
 
 void
-EventTracer::exportChromeTrace(std::ostream &os) const
+EventTracer::appendEventsJson(std::ostream &os, bool &first) const
 {
     // Trace Event Format: instant events ("ph":"i"), one pid per
     // process, one tid per operation class so each unit renders as its
     // own track; the access stamp serves as the microsecond timestamp.
-    os << "{\"traceEvents\": [";
     for (size_t i = 0; i < size(); i++) {
         const TraceRecord &r = at(i);
-        os << (i ? ",\n " : "\n ") << "{\"name\": \""
+        os << (first ? "\n " : ",\n ") << "{\"name\": \""
            << tableEventName(r.kind) << "\", \"cat\": \""
            << operationName(r.op) << "\", \"ph\": \"i\", \"s\": \"t\""
            << ", \"ts\": " << r.stamp << ", \"pid\": 1, \"tid\": "
            << static_cast<unsigned>(r.op) << ", \"args\": {\"set\": "
            << r.set << "}}";
+        first = false;
     }
+}
+
+void
+EventTracer::exportChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    appendEventsJson(os, first);
     os << "\n],\n\"metadata\": {\"offered\": " << offered_
        << ", \"recorded\": " << recorded_ << ", \"dropped\": "
        << dropped() << ", \"samplePeriod\": " << period_ << "}}\n";

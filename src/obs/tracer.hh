@@ -88,6 +88,17 @@ class EventTracer final : public TableHooks
     /** Write the retained window as Chrome-trace JSON. */
     void exportChromeTrace(std::ostream &os) const;
 
+    /**
+     * Append the retained records to an already-open Chrome-trace
+     * "traceEvents" array: one instant-event JSON object per record,
+     * comma-separated. @p first is the caller's between-objects state —
+     * true when nothing has been written to the array yet — and is
+     * updated so emission can continue after the call. Used by the
+     * host profiler to merge table events and host spans onto one
+     * timeline (prof::Profiler::exportChromeTrace).
+     */
+    void appendEventsJson(std::ostream &os, bool &first) const;
+
   private:
     std::vector<TraceRecord> ring_;
     uint64_t period_;

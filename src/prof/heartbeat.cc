@@ -1,0 +1,97 @@
+#include "heartbeat.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+#include "prof.hh"
+
+namespace memo::prof
+{
+
+Heartbeat::Heartbeat(std::string label, uint64_t total,
+                     double interval, std::ostream *os)
+    : label_(std::move(label)), total_(total),
+      intervalNs_(static_cast<uint64_t>(
+          (interval > 0.01 ? interval : 0.01) * 1e9)),
+      startNs_(nowNs()), os_(os ? os : &std::cerr)
+{
+    thread_ = std::thread([this] { loop(); }); // NOLINT(memo-CONC-001)
+}
+
+Heartbeat::~Heartbeat()
+{
+    stop();
+}
+
+void
+Heartbeat::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (stopping_) {
+            if (thread_.joinable())
+                thread_.join();
+            return;
+        }
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    // Land the final state on its own completed line, even when the
+    // run finished before the first refresh fired.
+    printLine(done_.load(std::memory_order_relaxed), nowNs());
+    *os_ << "\n";
+    os_->flush();
+}
+
+void
+Heartbeat::loop()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        cv_.wait_for(lk, std::chrono::nanoseconds(intervalNs_),
+                     [this] { return stopping_; });
+        if (stopping_)
+            return;
+        lk.unlock();
+        printLine(done_.load(std::memory_order_relaxed), nowNs());
+        os_->flush();
+        lk.lock();
+    }
+}
+
+void
+Heartbeat::printLine(uint64_t done, uint64_t now_ns)
+{
+    double elapsed =
+        static_cast<double>(now_ns - startNs_) / 1e9;
+    double rate = elapsed > 0
+                      ? static_cast<double>(done) / elapsed
+                      : 0.0;
+    char buf[192];
+    if (total_ > 0) {
+        double pct = 100.0 * static_cast<double>(done) /
+                     static_cast<double>(total_);
+        double eta = rate > 0 && total_ > done
+                         ? static_cast<double>(total_ - done) / rate
+                         : 0.0;
+        std::snprintf(buf, sizeof buf,
+                      "\r[%s] %llu/%llu (%.1f%%) %.3g/s eta %.0fs   ",
+                      label_.c_str(),
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total_), pct,
+                      rate, eta);
+    } else {
+        std::snprintf(buf, sizeof buf,
+                      "\r[%s] %llu done, %.3g/s, %.0fs elapsed   ",
+                      label_.c_str(),
+                      static_cast<unsigned long long>(done), rate,
+                      elapsed);
+    }
+    *os_ << buf;
+}
+
+} // namespace memo::prof

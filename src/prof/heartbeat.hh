@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Stderr progress heartbeat for long-running CLI operations.
+ *
+ * A Heartbeat owns a background thread that periodically rewrites one
+ * carriage-return-terminated status line — items done, rate, ETA —
+ * from an atomic counter that the instrumented hot loop bumps with
+ * plain relaxed adds (no locks, no clocks on the worker side). It is
+ * strictly an stderr affordance: nothing is ever written to stdout,
+ * so golden diffs and piped output stay byte-stable whether or not a
+ * heartbeat is running, and the instrumented computation itself stays
+ * deterministic (the counter feeds display only).
+ *
+ * Off by default everywhere; the memo-sim / memo-fuzz `--progress`
+ * flags construct one.
+ */
+
+#ifndef MEMO_PROF_HEARTBEAT_HH
+#define MEMO_PROF_HEARTBEAT_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace memo::prof
+{
+
+/** A background rate/ETA line writer over an atomic progress counter. */
+class Heartbeat
+{
+  public:
+    /**
+     * Start the heartbeat thread.
+     *
+     * @param label    line prefix ("replay", "fuzz")
+     * @param total    expected item count (0 = unknown: no ETA/percent)
+     * @param interval seconds between line refreshes
+     * @param os       sink; nullptr = std::cerr (tests pass a stream)
+     */
+    explicit Heartbeat(std::string label, uint64_t total = 0,
+                       double interval = 0.5,
+                       std::ostream *os = nullptr);
+
+    /** Stops and joins the thread; ends the status line. */
+    ~Heartbeat();
+
+    Heartbeat(const Heartbeat &) = delete;
+    Heartbeat &operator=(const Heartbeat &) = delete;
+
+    /** Bump the progress counter from the instrumented loop. */
+    void tick(uint64_t n = 1)
+    {
+        done_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** The counter itself, for hooks that take an atomic pointer. */
+    std::atomic<uint64_t> &counter() { return done_; }
+
+    /** Stop early (idempotent; the destructor calls it too). */
+    void stop();
+
+  private:
+    void loop();
+    void printLine(uint64_t done, uint64_t now_ns);
+
+    std::string label_;
+    uint64_t total_;
+    uint64_t intervalNs_;
+    uint64_t startNs_;
+    std::ostream *os_; //!< never stdout
+
+    std::atomic<uint64_t> done_{0};
+    bool stopping_ = false; //!< guarded by m_
+    std::mutex m_;
+    std::condition_variable cv_;
+    // The display thread is deliberately detached from the executor:
+    // it must keep printing while the pool is saturated, and it only
+    // reads an atomic and writes stderr. Joined in the destructor.
+    std::thread thread_; // NOLINT(memo-CONC-001)
+};
+
+} // namespace memo::prof
+
+#endif // MEMO_PROF_HEARTBEAT_HH

@@ -1,0 +1,243 @@
+#include "prof.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <unordered_map>
+
+#include <sys/resource.h>
+
+#include "obs/stats.hh"
+#include "obs/tracer.hh"
+
+namespace memo::prof
+{
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace
+{
+
+/** Process-unique profiler ids, so the thread-local buffer cache can
+ *  never confuse a profiler with a previously destroyed one that was
+ *  allocated at the same address. */
+std::atomic<uint64_t> next_profiler_id{1};
+
+/** This thread's buffer pointer per profiler id. */
+thread_local std::unordered_map<uint64_t, void *> tls_bufs;
+
+} // anonymous namespace
+
+Profiler::Profiler()
+    : id_(next_profiler_id.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Profiler::~Profiler() = default;
+
+Profiler &
+Profiler::global()
+{
+    // Internally synchronized singleton: buffer registration takes m_
+    // and all hot-path writes go through thread-local buffers.
+    static Profiler profiler; // NOLINT(memo-CONC-003)
+    return profiler;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    if (on) {
+        uint64_t expected = 0;
+        epoch_.compare_exchange_strong(expected, nowNs(),
+                                       std::memory_order_relaxed);
+    }
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+Profiler::Buf &
+Profiler::localBuf()
+{
+    auto it = tls_bufs.find(id_);
+    if (it != tls_bufs.end())
+        return *static_cast<Buf *>(it->second);
+    std::lock_guard<std::mutex> lock(m_);
+    bufs_.push_back(std::make_unique<Buf>());
+    Buf *buf = bufs_.back().get();
+    buf->tid = static_cast<uint32_t>(bufs_.size());
+    tls_bufs.emplace(id_, buf);
+    return *buf;
+}
+
+void
+Profiler::record(std::string name, uint64_t t0_ns, uint64_t t1_ns,
+                 uint32_t depth)
+{
+    Buf &buf = localBuf();
+    buf.spans.push_back(
+        Span{std::move(name), t0_ns, t1_ns, buf.tid, depth});
+}
+
+std::vector<Span>
+Profiler::snapshot() const
+{
+    std::vector<Span> out;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (const auto &buf : bufs_)
+            out.insert(out.end(), buf->spans.begin(),
+                       buf->spans.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Span &a, const Span &b) {
+                  if (a.t0Ns != b.t0Ns)
+                      return a.t0Ns < b.t0Ns;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.t1Ns > b.t1Ns; // outermost first
+              });
+    return out;
+}
+
+size_t
+Profiler::size() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    size_t n = 0;
+    for (const auto &buf : bufs_)
+        n += buf->spans.size();
+    return n;
+}
+
+void
+Profiler::clear()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto &buf : bufs_)
+        buf->spans.clear();
+}
+
+void
+Profiler::exportChromeTrace(std::ostream &os,
+                            const obs::EventTracer *table_events) const
+{
+    // Host spans as "ph":"X" duration events (pid 2, one tid per
+    // recording thread), table events appended as the tracer's usual
+    // instant events (pid 1, one tid per operation class). The two
+    // pids render as separate named processes in chrome://tracing.
+    std::vector<Span> spans = snapshot();
+    uint64_t epoch = epochNs();
+
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        os << (first ? "\n " : ",\n ");
+        first = false;
+        return os;
+    };
+    sep() << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2"
+          << ", \"args\": {\"name\": \"host (memo::prof)\"}}";
+    if (table_events)
+        sep() << "{\"name\": \"process_name\", \"ph\": \"M\", "
+                 "\"pid\": 1, \"args\": {\"name\": "
+                 "\"memo-tables (obs::EventTracer)\"}}";
+
+    char num[64];
+    for (const Span &s : spans) {
+        uint64_t t0 = s.t0Ns >= epoch ? s.t0Ns - epoch : 0;
+        uint64_t dur = s.t1Ns >= s.t0Ns ? s.t1Ns - s.t0Ns : 0;
+        sep() << "{\"name\": \"" << s.name
+              << "\", \"cat\": \"host\", \"ph\": \"X\", \"ts\": ";
+        std::snprintf(num, sizeof num, "%.3f",
+                      static_cast<double>(t0) / 1000.0);
+        os << num << ", \"dur\": ";
+        std::snprintf(num, sizeof num, "%.3f",
+                      static_cast<double>(dur) / 1000.0);
+        os << num << ", \"pid\": 2, \"tid\": " << s.tid
+           << ", \"args\": {\"depth\": " << s.depth << "}}";
+    }
+    if (table_events)
+        table_events->appendEventsJson(os, first);
+
+    os << "\n],\n\"metadata\": {\"hostSpans\": " << spans.size()
+       << ", \"peakRssBytes\": " << peakRssBytes();
+    if (table_events)
+        os << ", \"tableEventsOffered\": " << table_events->offered()
+           << ", \"tableEventsRecorded\": "
+           << table_events->recorded();
+    os << "}}\n";
+}
+
+ProfSpan::ProfSpan(std::string name, Profiler &profiler)
+{
+    if (!profiler.enabled())
+        return;
+    buf_ = &profiler.localBuf();
+    name_ = std::move(name);
+    depth_ = buf_->depth++;
+    t0_ = nowNs();
+}
+
+ProfSpan::~ProfSpan()
+{
+    if (!buf_)
+        return;
+    uint64_t t1 = nowNs();
+    buf_->depth--;
+    buf_->spans.push_back(
+        Span{std::move(name_), t0_, t1, buf_->tid, depth_});
+}
+
+uint64_t
+peakRssBytes()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+std::string
+cpuModelName()
+{
+    std::FILE *f = std::fopen("/proc/cpuinfo", "r");
+    if (!f)
+        return "unknown";
+    char line[512];
+    std::string model = "unknown";
+    while (std::fgets(line, sizeof line, f)) {
+        std::string s(line);
+        if (s.rfind("model name", 0) != 0)
+            continue;
+        size_t colon = s.find(':');
+        if (colon == std::string::npos)
+            break;
+        size_t b = colon + 1;
+        while (b < s.size() && s[b] == ' ')
+            b++;
+        size_t e = s.find_last_not_of(" \n\r");
+        if (e != std::string::npos && e >= b)
+            model = s.substr(b, e - b + 1);
+        break;
+    }
+    std::fclose(f);
+    return model;
+}
+
+void
+publishProcessStats(obs::StatsRegistry &reg, const Profiler &profiler)
+{
+    reg.gaugeMax("prof.process.peakRssBytes", peakRssBytes());
+    reg.gaugeMax("prof.process.spans", profiler.size());
+}
+
+} // namespace memo::prof

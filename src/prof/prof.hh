@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Host-performance profiling: scoped wall-clock spans and process
+ * counters for the simulator itself.
+ *
+ * Everything else in this repository measures the *simulated*
+ * machine; this layer measures the machine running the simulation —
+ * how long each phase of a run takes, how hard the ThreadPool workers
+ * work, how much memory the process peaks at. A ProfSpan is an RAII
+ * scope timer: construction stamps a start time, destruction appends
+ * one completed span to a thread-local buffer owned by the Profiler,
+ * so recording never contends on a lock. A snapshot merges every
+ * thread's buffer and the result exports as Chrome-trace duration
+ * events — optionally into the *same* file as the obs::EventTracer's
+ * simulated table events, so host time and simulated activity share
+ * one chrome://tracing timeline.
+ *
+ * Determinism contract: profiling is OFF by default and every clock
+ * read is gated on Profiler::enabled(). With profiling off, a
+ * ProfSpan constructs to an inert no-op, no wall-clock is read, and
+ * nothing is written anywhere — the bit-identical-at-any---jobs
+ * guarantees of the golden/exactness suites are untouched. Wall-clock
+ * use is sanctioned here and only here (plus the seeded fuzzer); see
+ * the memo-DET-002 carve-out in src/lint/analyzer.cc.
+ */
+
+#ifndef MEMO_PROF_PROF_HH
+#define MEMO_PROF_PROF_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace memo::obs
+{
+class EventTracer;
+class StatsRegistry;
+} // namespace memo::obs
+
+namespace memo::prof
+{
+
+/**
+ * Monotonic wall-clock nanoseconds (steady_clock). The single
+ * sanctioned clock read of the codebase: callers outside src/prof
+ * use this instead of naming a clock, so the memo-DET-002 lint rule
+ * keeps its teeth everywhere else.
+ */
+uint64_t nowNs();
+
+/** One completed, flushed span. */
+struct Span
+{
+    std::string name; //!< scope label ("build_trace", "memo_replay")
+    uint64_t t0Ns;    //!< start, nowNs() domain
+    uint64_t t1Ns;    //!< end, nowNs() domain
+    uint32_t tid;     //!< profiler-assigned thread track (1-based)
+    uint32_t depth;   //!< nesting depth on that thread (0 = outermost)
+};
+
+/**
+ * The span collector. Most code uses the process-wide instance
+ * (global()); tests create private instances. Writes go to per-thread
+ * buffers registered under a mutex on first touch (the StatsRegistry
+ * shard pattern); snapshot() assumes quiescence — no live ProfSpan on
+ * another thread — which holds whenever exec::parallelFor has
+ * returned.
+ */
+class Profiler
+{
+  public:
+    Profiler();  //!< A disabled profiler with no buffers yet.
+    ~Profiler(); //!< Unregisters the id from thread-local caches.
+
+    Profiler(const Profiler &) = delete;            //!< Buffers pin the address.
+    Profiler &operator=(const Profiler &) = delete; //!< Buffers pin the address.
+
+    /** The process-wide profiler (what --profile flags enable). */
+    static Profiler &global();
+
+    /**
+     * Turn span recording on or off. The first enable stamps the
+     * export epoch (timestamps in Chrome traces are relative to it).
+     */
+    void setEnabled(bool on);
+
+    /** True when spans are being recorded. */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** The export epoch: nowNs() at the first enable (0 = never). */
+    uint64_t epochNs() const
+    {
+        return epoch_.load(std::memory_order_relaxed);
+    }
+
+    /** Append one completed span to this thread's buffer. */
+    void record(std::string name, uint64_t t0_ns, uint64_t t1_ns,
+                uint32_t depth);
+
+    /** Merge every thread's buffer, sorted by (t0, tid, -t1). */
+    std::vector<Span> snapshot() const;
+
+    /** Spans recorded so far across all threads. */
+    size_t size() const;
+
+    /** Drop all recorded spans (requires quiescence). */
+    void clear();
+
+    /**
+     * Write the recorded spans as Chrome-trace JSON ("ph":"X"
+     * duration events, microsecond timestamps relative to the
+     * epoch). When @p table_events is non-null its retained records
+     * are appended to the same "traceEvents" array, putting host
+     * spans and simulated MEMO-TABLE events on one timeline.
+     */
+    void exportChromeTrace(std::ostream &os,
+                           const obs::EventTracer *table_events =
+                               nullptr) const;
+
+  private:
+    friend class ProfSpan;
+
+    struct Buf
+    {
+        uint32_t tid = 0;   //!< stable per-thread track id
+        uint32_t depth = 0; //!< live nesting depth (ctor/dtor only)
+        std::vector<Span> spans;
+    };
+
+    /** This thread's buffer (registered on first use). */
+    Buf &localBuf();
+
+    const uint64_t id_; //!< distinguishes re-allocated profilers
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> epoch_{0};
+    mutable std::mutex m_;
+    std::vector<std::unique_ptr<Buf>> bufs_;
+};
+
+/**
+ * RAII scope timer. When the profiler is disabled at construction the
+ * span is inert (no clock read, no buffer touch); otherwise the
+ * destructor appends one Span carrying this thread's nesting depth.
+ */
+class ProfSpan
+{
+  public:
+    explicit ProfSpan(std::string name,
+                      Profiler &profiler = Profiler::global());
+    ~ProfSpan();
+
+    ProfSpan(const ProfSpan &) = delete;
+    ProfSpan &operator=(const ProfSpan &) = delete;
+
+  private:
+    Profiler::Buf *buf_ = nullptr; //!< null when recording is off
+    std::string name_;
+    uint64_t t0_ = 0;
+    uint32_t depth_ = 0;
+};
+
+/**
+ * Peak resident set size of this process in bytes (getrusage
+ * ru_maxrss), or 0 when the platform does not report it.
+ */
+uint64_t peakRssBytes();
+
+/** First "model name" from /proc/cpuinfo, or "unknown". */
+std::string cpuModelName();
+
+/**
+ * Fold the process counters into @p reg as gauges
+ * (prof.process.peakRssBytes, prof.process.spans). Idempotent
+ * (gauges take the max), so harnesses may publish at every report
+ * point. Never called with profiling off by any library code — the
+ * registry's jobs-invariance contract is the caller's to keep.
+ */
+void publishProcessStats(obs::StatsRegistry &reg,
+                         const Profiler &profiler);
+
+} // namespace memo::prof
+
+#endif // MEMO_PROF_PROF_HH

@@ -14,6 +14,7 @@
 #ifndef MEMO_SIM_CPU_HH
 #define MEMO_SIM_CPU_HH
 
+#include <atomic>
 #include <map>
 
 #include "core/bank.hh"
@@ -45,6 +46,16 @@ struct CpuConfig
      * table, shrinking the memoization benefit (bench_ext_earlyout).
      */
     bool earlyOutIntMul = false;
+    /**
+     * Optional progress sink: when non-null, run() adds the number of
+     * instructions replayed to this counter in coarse batches (every
+     * 64 Ki instructions plus once at the end). Display-only — the
+     * model reads no clocks and its results do not depend on the
+     * pointer — and null by default, so replays stay entirely free of
+     * shared-state traffic unless a caller (memo-sim --progress)
+     * wires a prof::Heartbeat counter in.
+     */
+    std::atomic<uint64_t> *progress = nullptr;
 };
 
 /** Outcome of replaying one trace. */

@@ -1,0 +1,14 @@
+// LINT-AS: src/prof/prof.cc
+// Fixture: the host profiler owns the sanctioned wall clock
+// (prof::nowNs); memo-DET-002 is path-exempt under src/prof/.
+#include <chrono>
+#include <cstdint>
+
+uint64_t
+profNow()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}

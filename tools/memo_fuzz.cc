@@ -16,9 +16,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "check/fuzz.hh"
+#include "prof/heartbeat.hh"
 
 namespace
 {
@@ -34,7 +36,9 @@ usage(const char *argv0)
                  "  --stream L   accesses per case (default 256)\n"
                  "  --mutation   self-test: inject a tag-comparison bug\n"
                  "               and require the harness to catch it\n"
-                 "  --verbose    progress output every 1000 cases\n",
+                 "  --verbose    progress output every 1000 cases\n"
+                 "  --progress   stderr heartbeat (rate/ETA); stdout\n"
+                 "               stays byte-identical\n",
                  argv0);
 }
 
@@ -58,6 +62,7 @@ main(int argc, char **argv)
 {
     memo::check::FuzzOptions opts;
     bool mutation = false;
+    bool progress = false;
 
     for (int i = 1; i < argc; i++) {
         auto need = [&](const char *flag) -> const char * {
@@ -79,6 +84,8 @@ main(int argc, char **argv)
             mutation = true;
         } else if (!std::strcmp(argv[i], "--verbose")) {
             opts.verbose = true;
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            progress = true;
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             usage(argv[0]);
@@ -102,6 +109,16 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // The heartbeat is stderr-only display: campaign verdicts and
+    // stdout output are byte-identical with or without it.
+    std::optional<memo::prof::Heartbeat> heartbeat;
+    if (progress) {
+        heartbeat.emplace("fuzz", opts.iters);
+        opts.progress = &heartbeat->counter();
+    }
+
     auto failure = memo::check::fuzz(opts, &std::cout);
+    if (heartbeat)
+        heartbeat->stop();
     return failure ? 1 : 0;
 }

@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "check/report.hh"
+#include "exec/trace_cache.hh"
 #include "obs/report.hh"
+#include "obs/stats.hh"
 
 namespace
 {
@@ -165,6 +167,23 @@ main(int argc, char **argv)
             ok = false;
         }
     }
+    // Trace-cache effectiveness of the measurement run, via the same
+    // gauges the profiler publishes (exec.traceCache.*). Write/check
+    // stdout is operator-facing, so this never touches the rendered
+    // artifacts (whose bytes --check just compared).
+    auto &cache = memo::exec::TraceCache::instance();
+    memo::obs::StatsRegistry cache_stats;
+    cache.publishStats(cache_stats);
+    auto snap = cache_stats.snapshot();
+    std::cout << "trace cache: "
+              << snap.gauges["exec.traceCache.hits"] << " hits, "
+              << snap.gauges["exec.traceCache.misses"] << " misses, "
+              << snap.gauges["exec.traceCache.evictions"]
+              << " evictions, "
+              << snap.gauges["exec.traceCache.residentBytes"] /
+                     (1024 * 1024)
+              << " MiB resident\n";
+
     if (!ok)
         std::cout << "report drift: if the change is intended, "
                      "regenerate with\n  memo-report --write "

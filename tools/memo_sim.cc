@@ -30,9 +30,14 @@
 #include "arith/fp.hh"
 #include "analysis/table.hh"
 #include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+#include "exec/trace_cache.hh"
 #include "img/generate.hh"
 #include "img/pnm.hh"
+#include "obs/stats.hh"
 #include "obs/tracer.hh"
+#include "prof/heartbeat.hh"
+#include "prof/prof.hh"
 #include "sim/cpu.hh"
 #include "trace/io.hh"
 #include "workloads/workload.hh"
@@ -52,7 +57,9 @@ struct Options
     std::string loadTrace;
     std::string statsFile;
     std::string traceEvents;   //!< Chrome-trace JSON output path
+    std::string profileTrace;  //!< host-span Chrome-trace output path
     uint64_t samplePeriod = 1; //!< record every Nth table event
+    bool progress = false;     //!< stderr heartbeat during replays
     MemoConfig table;
     int crop = 128;
     unsigned jobs = 0; //!< 0 = hardware_concurrency (default)
@@ -100,7 +107,13 @@ usage()
         "                      insert/evict/abort) as Chrome trace\n"
         "                      JSON (load in about://tracing)\n"
         "  --sample N          record every Nth table event\n"
-        "                      (default 1; counts stay exact)\n");
+        "                      (default 1; counts stay exact)\n"
+        "  --profile FILE      enable host profiling and write host\n"
+        "                      spans (plus table events when\n"
+        "                      --trace-events is active) as one\n"
+        "                      Chrome-trace file\n"
+        "  --progress          stderr heartbeat (rate/ETA) during the\n"
+        "                      replays; never touches stdout\n");
 }
 
 CpuPreset
@@ -215,6 +228,10 @@ parseArgs(int argc, char **argv)
             opt.statsFile = need(i);
         } else if (a == "--trace-events") {
             opt.traceEvents = need(i);
+        } else if (a == "--profile") {
+            opt.profileTrace = need(i);
+        } else if (a == "--progress") {
+            opt.progress = true;
         } else if (a == "--sample") {
             long long n = std::atoll(need(i).c_str());
             if (n <= 0)
@@ -364,7 +381,22 @@ main(int argc, char **argv)
         if (std::string err = opt.table.validate(); !err.empty())
             throw std::runtime_error("table config: " + err);
 
+        auto &profiler = prof::Profiler::global();
+        if (!opt.profileTrace.empty())
+            profiler.setEnabled(true);
+
+        // The build_trace span is recorded manually: a ProfSpan
+        // registers this thread's span buffer (a heap allocation) on
+        // construction, and any allocation before the workload runs
+        // shifts the workload's own buffers to different intra-line
+        // offsets — Recorder::remap preserves those offset bits, so
+        // the recorded trace (and its cycle counts) would differ
+        // from an unprofiled run. Bare clock reads allocate nothing.
+        uint64_t build_t0 = profiler.enabled() ? prof::nowNs() : 0;
         Trace trace = buildTrace(opt);
+        if (profiler.enabled())
+            profiler.record("build_trace", build_t0, prof::nowNs(),
+                            0);
         if (!opt.saveTrace.empty())
             writeTrace(trace, opt.saveTrace);
 
@@ -377,7 +409,6 @@ main(int argc, char **argv)
 
         CpuConfig cpu_cfg;
         cpu_cfg.lat = LatencyConfig::preset(parsePreset(opt.preset));
-        CpuModel cpu(cpu_cfg);
 
         // The baseline and memoized replays are independent; run them
         // as two executor jobs (--jobs 1 forces the serial path).
@@ -398,15 +429,31 @@ main(int argc, char **argv)
                     table->setHooks(&*tracer);
         }
 
+        // Optional stderr heartbeat: the model bumps the counter in
+        // coarse batches; the display thread owns all clock reads.
+        unsigned replays = opt.noMemo ? 1 : 2;
+        std::optional<prof::Heartbeat> heartbeat;
+        if (opt.progress) {
+            heartbeat.emplace("replay",
+                              static_cast<uint64_t>(trace.size()) *
+                                  replays);
+            cpu_cfg.progress = &heartbeat->counter();
+        }
+        CpuModel replay_cpu(cpu_cfg);
+
         exec::parallelFor(
-            opt.noMemo ? 1 : 2,
+            replays,
             [&](size_t i) {
+                prof::ProfSpan span(i == 0 ? "baseline_replay"
+                                           : "memo_replay");
                 if (i == 0)
-                    base = cpu.run(trace);
+                    base = replay_cpu.run(trace);
                 else
-                    memo = cpu.run(trace, &bank);
+                    memo = replay_cpu.run(trace, &bank);
             },
             opt.jobs);
+        if (heartbeat)
+            heartbeat->stop();
 
         TextTable t({"metric", "value"});
         t.addRow({"instructions", TextTable::count(trace.size())});
@@ -451,6 +498,29 @@ main(int argc, char **argv)
                       << tracer->recorded() << " of "
                       << tracer->offered()
                       << " table events recorded)\n";
+        }
+
+        if (!opt.profileTrace.empty()) {
+            // Host spans and (when traced) the simulated table events
+            // on one chrome://tracing timeline; the host-side summary
+            // goes to stderr so stdout stays identical to an
+            // unprofiled run.
+            obs::StatsRegistry host_stats;
+            prof::publishProcessStats(host_stats, profiler);
+            exec::ThreadPool::shared().publishUtilization(host_stats);
+            exec::TraceCache::instance().publishStats(host_stats);
+
+            std::ofstream os(opt.profileTrace,
+                             std::ios::binary | std::ios::trunc);
+            if (!os)
+                throw std::runtime_error("cannot write " +
+                                         opt.profileTrace);
+            profiler.exportChromeTrace(os,
+                                       tracer ? &*tracer : nullptr);
+            std::cerr << "memo-sim: wrote " << opt.profileTrace
+                      << " (" << profiler.size() << " host spans"
+                      << (tracer ? ", +table events" : "") << ")\n"
+                      << host_stats.snapshot().serialize();
         }
 
         if (!opt.statsFile.empty()) {
