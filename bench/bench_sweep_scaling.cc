@@ -50,33 +50,69 @@ sweepConfigs()
     return cfgs;
 }
 
+/** Per-unit stat shard of one (kernel, config, image) replay. */
+struct SweepShard
+{
+    MemoStats intMul, fpMul, fpDiv;
+};
+
+double
+pooledRatio(const MemoStats &s)
+{
+    return s.lookups ? s.hitRatio() : -1.0;
+}
+
 /**
- * Replay the whole sweep as one flat (kernel, config) job list, so
- * the executor sees 55 independent work items. Traces come from the
- * warmed TraceCache; each job owns its MemoBank.
+ * Replay the whole sweep as one flat (kernel, config, image) job
+ * list: with 5 kernels x 11 configs x images the executor sees a few
+ * hundred fine-grained items (grain 2 batches neighbours to amortize
+ * dispatch), so even the tail of the sweep keeps every worker busy.
+ * Each item replays one shared immutable trace into its own fresh
+ * bank — equivalent to the old per-(kernel, config) loop that flushed
+ * between images — and the per-unit stat deltas are folded in image
+ * order below, so the pooled ratios are bit-identical for any job
+ * count and any grain.
  */
 std::vector<UnitHits>
 runSweep(const std::vector<std::string> &kernels,
          const std::vector<MemoConfig> &cfgs, unsigned jobs)
 {
-    size_t n = kernels.size() * cfgs.size();
-    return exec::sweep(
-        n,
+    const auto &images = standardImages();
+    const size_t n_img = images.size();
+    const size_t n_cfg = cfgs.size();
+
+    auto shards = exec::sweep(
+        kernels.size() * n_cfg * n_img,
         [&](size_t i) {
-            const MmKernel &k = mmKernelByName(kernels[i / cfgs.size()]);
-            const MemoConfig &cfg = cfgs[i % cfgs.size()];
+            const MmKernel &k =
+                mmKernelByName(kernels[i / (n_cfg * n_img)]);
+            const MemoConfig &cfg = cfgs[(i / n_img) % n_cfg];
+            auto trace = cachedMmKernelTrace(k, images[i % n_img],
+                                             bench::benchCrop);
             MemoBank bank = MemoBank::standard(cfg);
-            for (const auto &ni : standardImages()) {
-                auto trace =
-                    cachedMmKernelTrace(k, ni, bench::benchCrop);
-                bank.table(Operation::IntMul)->flush();
-                bank.table(Operation::FpMul)->flush();
-                bank.table(Operation::FpDiv)->flush();
-                replayMemo(*trace, bank);
-            }
-            return hitsOf(bank);
+            replayMemo(*trace, bank);
+            SweepShard s;
+            s.intMul = bank.table(Operation::IntMul)->stats();
+            s.fpMul = bank.table(Operation::FpMul)->stats();
+            s.fpDiv = bank.table(Operation::FpDiv)->stats();
+            return s;
         },
-        jobs);
+        jobs, /*grain=*/2);
+
+    std::vector<UnitHits> out(kernels.size() * n_cfg);
+    for (size_t p = 0; p < out.size(); p++) {
+        SweepShard pool;
+        for (size_t ii = 0; ii < n_img; ii++) {
+            const SweepShard &s = shards[p * n_img + ii];
+            pool.intMul.merge(s.intMul);
+            pool.fpMul.merge(s.fpMul);
+            pool.fpDiv.merge(s.fpDiv);
+        }
+        out[p].intMul = pooledRatio(pool.intMul);
+        out[p].fpMul = pooledRatio(pool.fpMul);
+        out[p].fpDiv = pooledRatio(pool.fpDiv);
+    }
+    return out;
 }
 
 bool
@@ -179,6 +215,10 @@ main(int argc, char **argv)
     par.extra["sweepPoints"] = sweep_points;
     par.extra["speedup"] = speedup;
     par.extra["deterministic"] = det ? 1.0 : 0.0;
+    // Speedup is bounded by the host: record the thread budget so a
+    // low figure on a small machine isn't read as a regression.
+    par.extra["hardwareThreads"] =
+        static_cast<double>(std::thread::hardware_concurrency());
 
     bench::writeBenchRecords(out_path, {gen, ser, par});
 

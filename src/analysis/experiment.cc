@@ -75,6 +75,49 @@ constexpr Operation bank_ops[] = {
     Operation::FpCos,  Operation::FpExp,
 };
 
+/** Table-stat snapshot taken before a replay (absent tables omitted). */
+std::map<Operation, MemoStats>
+snapshotStats(const MemoBank &bank)
+{
+    std::map<Operation, MemoStats> before;
+    for (Operation op : bank_ops)
+        if (const MemoTable *t = bank.table(op))
+            before[op] = t->stats();
+    return before;
+}
+
+/**
+ * Fold one replay's activity (current stats minus @p before) into the
+ * global registry. Per-replay deltas are exact integers independent
+ * of scheduling, so parallel sweeps produce bit-identical registry
+ * snapshots.
+ */
+void
+foldReplayStats(const MemoBank &bank,
+                const std::map<Operation, MemoStats> &before,
+                uint64_t instructions)
+{
+    auto &reg = obs::StatsRegistry::global();
+    reg.add("analysis.replay.runs", 1);
+    reg.add("analysis.replay.instructions", instructions);
+    for (Operation op : bank_ops) {
+        const MemoTable *t = bank.table(op);
+        if (!t)
+            continue;
+        const MemoStats &a = t->stats();
+        const MemoStats &b = before.at(op);
+        std::string prefix =
+            "core.table." + std::string(operationName(op)) + ".";
+        reg.add(prefix + "lookups", a.lookups - b.lookups);
+        reg.add(prefix + "hits", a.hits - b.hits);
+        reg.add(prefix + "misses", a.misses - b.misses);
+        reg.add(prefix + "insertions", a.insertions - b.insertions);
+        reg.add(prefix + "evictions", a.evictions - b.evictions);
+        reg.add(prefix + "trivialHits",
+                a.trivialHits - b.trivialHits);
+    }
+}
+
 } // anonymous namespace
 
 void
@@ -82,10 +125,50 @@ replayMemo(const Trace &trace, MemoBank &bank)
 {
     // Snapshot the attached tables so only this replay's activity is
     // folded into the registry below (tables accumulate across calls).
-    std::map<Operation, MemoStats> before;
-    for (Operation op : bank_ops)
-        if (const MemoTable *t = bank.table(op))
-            before[op] = t->stats();
+    auto before = snapshotStats(bank);
+
+    // Devirtualize the per-access table dispatch: one pointer per
+    // instruction class, resolved once. Classes without a table in
+    // this bank (or not memoizable at all) stay null and their
+    // accesses are skipped, exactly as the scalar loop skips them.
+    MemoTable *tables[numInstClasses] = {};
+    bool any = false;
+    for (unsigned c = 0; c < numInstClasses; c++) {
+        if (auto op = memoOperation(static_cast<InstClass>(c))) {
+            tables[c] = bank.table(*op);
+            any = any || tables[c] != nullptr;
+        }
+    }
+
+    const TraceStore &store = trace.store();
+    if (any && store.opCount()) {
+        // Blocked columnar passes over the store's dense per-class
+        // partition: each table streams its own contiguous operand
+        // columns (built once per trace, cached, shared by every
+        // replay of it) in kReplayBlock chunks. Accesses of one table
+        // keep their trace order and different tables are independent
+        // state, so the partitioning is exact, not approximate.
+        for (unsigned c = 0; c < numInstClasses; c++) {
+            if (!tables[c])
+                continue;
+            const TraceStore::ClassColumns &col =
+                store.classColumns(static_cast<InstClass>(c));
+            const size_t m = col.a.size();
+            for (size_t base = 0; base < m; base += kReplayBlock)
+                tables[c]->probeBlock(
+                    col.a.data() + base, col.b.data() + base,
+                    col.r.data() + base,
+                    std::min(m - base, kReplayBlock));
+        }
+    }
+
+    foldReplayStats(bank, before, trace.size());
+}
+
+void
+replayMemoReference(const Trace &trace, MemoBank &bank)
+{
+    auto before = snapshotStats(bank);
 
     for (const Instruction &inst : trace) {
         auto op = memoOperation(inst.cls);
@@ -98,27 +181,7 @@ replayMemo(const Trace &trace, MemoBank &bank)
             table->update(inst.a, inst.b, inst.result);
     }
 
-    // Per-replay deltas are exact integers independent of scheduling,
-    // so parallel sweeps produce bit-identical registry snapshots.
-    auto &reg = obs::StatsRegistry::global();
-    reg.add("analysis.replay.runs", 1);
-    reg.add("analysis.replay.instructions", trace.size());
-    for (Operation op : bank_ops) {
-        const MemoTable *t = bank.table(op);
-        if (!t)
-            continue;
-        const MemoStats &a = t->stats();
-        const MemoStats &b = before[op];
-        std::string prefix =
-            "core.table." + std::string(operationName(op)) + ".";
-        reg.add(prefix + "lookups", a.lookups - b.lookups);
-        reg.add(prefix + "hits", a.hits - b.hits);
-        reg.add(prefix + "misses", a.misses - b.misses);
-        reg.add(prefix + "insertions", a.insertions - b.insertions);
-        reg.add(prefix + "evictions", a.evictions - b.evictions);
-        reg.add(prefix + "trivialHits",
-                a.trivialHits - b.trivialHits);
-    }
+    foldReplayStats(bank, before, trace.size());
 }
 
 namespace
@@ -180,6 +243,36 @@ measureSci(const SciWorkload &workload, const MemoConfig &cfg)
     return hitsOf(bank);
 }
 
+namespace
+{
+
+/** Per-unit stat shard produced by one (config, image) work item. */
+struct UnitStats
+{
+    MemoStats intMul, fpMul, fpDiv;
+};
+
+UnitStats
+unitStatsOf(const MemoBank &bank)
+{
+    UnitStats s;
+    if (const MemoTable *t = bank.table(Operation::IntMul))
+        s.intMul = t->stats();
+    if (const MemoTable *t = bank.table(Operation::FpMul))
+        s.fpMul = t->stats();
+    if (const MemoTable *t = bank.table(Operation::FpDiv))
+        s.fpDiv = t->stats();
+    return s;
+}
+
+double
+ratioOfPool(const MemoStats &s)
+{
+    return s.lookups ? s.hitRatio() : -1.0;
+}
+
+} // anonymous namespace
+
 std::vector<UnitHits>
 measureMmKernelConfigs(const MmKernel &kernel,
                        const std::vector<MemoConfig> &cfgs, int max_dim,
@@ -194,22 +287,40 @@ measureMmKernelConfigs(const MmKernel &kernel,
         },
         jobs);
 
-    // One private bank per configuration; workers replay the shared
-    // immutable traces lock-free. Output slots are index-aligned with
-    // cfgs, so the result is identical for any thread count.
-    return exec::sweep(
-        cfgs.size(),
-        [&](size_t ci) {
-            MemoBank bank = MemoBank::standard(cfgs[ci]);
-            for (const auto &trace : traces) {
-                bank.table(Operation::IntMul)->flush();
-                bank.table(Operation::FpMul)->flush();
-                bank.table(Operation::FpDiv)->flush();
-                replayMemo(*trace, bank);
-            }
-            return hitsOf(bank);
+    // Fine-grained shards: one work item per (config, image) pair, so
+    // a handful of configs still fans out across every worker. Each
+    // item replays one shared immutable trace into its own fresh bank
+    // and returns the per-unit stat deltas. The tables were flushed
+    // between images before, so a fresh bank per image produces the
+    // same per-image integer deltas; pooling them below in image
+    // order reproduces the pooled table counters exactly, for any
+    // thread count and any grain.
+    const size_t n_img = traces.size();
+    auto shards = exec::sweep(
+        cfgs.size() * n_img,
+        [&](size_t idx) {
+            MemoBank bank = MemoBank::standard(cfgs[idx / n_img]);
+            replayMemo(*traces[idx % n_img], bank);
+            return unitStatsOf(bank);
         },
-        jobs);
+        jobs, /*grain=*/2);
+
+    // Deterministic fold: image order within each config, integer
+    // counter sums (MemoStats::merge is commutative and exact).
+    std::vector<UnitHits> out(cfgs.size());
+    for (size_t ci = 0; ci < cfgs.size(); ci++) {
+        UnitStats pool;
+        for (size_t ii = 0; ii < n_img; ii++) {
+            const UnitStats &s = shards[ci * n_img + ii];
+            pool.intMul.merge(s.intMul);
+            pool.fpMul.merge(s.fpMul);
+            pool.fpDiv.merge(s.fpDiv);
+        }
+        out[ci].intMul = ratioOfPool(pool.intMul);
+        out[ci].fpMul = ratioOfPool(pool.fpMul);
+        out[ci].fpDiv = ratioOfPool(pool.fpDiv);
+    }
+    return out;
 }
 
 } // namespace memo

@@ -47,8 +47,32 @@ cachedMmKernelTrace(const MmKernel &kernel, const NamedImage &input,
 std::shared_ptr<const Trace>
 cachedSciTrace(const SciWorkload &workload);
 
-/** Feed every memoizable instruction of a trace through the bank. */
+/**
+ * Accesses gathered per batch-probe call by the blocked replay loop.
+ * Exposed so the differential tests can pin behaviour exactly at and
+ * around block boundaries (lengths block-1, block, block+1).
+ */
+constexpr size_t kReplayBlock = 4096;
+
+/**
+ * Feed every memoizable instruction of a trace through the bank.
+ *
+ * The hot path: streams the TraceStore's operand columns in blocks of
+ * kReplayBlock records, partitions each block by operation, and
+ * presents each partition to its table through MemoTable::probeBlock.
+ * Accesses reach each table in trace order, so the resulting table
+ * states and statistics are bit-identical to replayMemoReference();
+ * tests/test_replay_batched.cc and the memo-fuzz batched-replay mode
+ * enforce that equivalence.
+ */
 void replayMemo(const Trace &trace, MemoBank &bank);
+
+/**
+ * The scalar per-Instruction replay loop, retained as the oracle for
+ * the batched path. Semantically identical to replayMemo() and kept
+ * deliberately simple; do not optimize it.
+ */
+void replayMemoReference(const Trace &trace, MemoBank &bank);
 
 /** Hit ratios of the three paper units; negative when the unit saw no
  *  non-trivial traffic. */

@@ -14,13 +14,47 @@
 #ifndef MEMO_ARITH_HASH_HH
 #define MEMO_ARITH_HASH_HH
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
+
+#include "fp.hh"
 
 namespace memo
 {
 
+// The index hashes run once per probe in the replay hot loop; they are
+// defined inline here so every caller pays a few ALU ops, not a call.
+
+namespace detail
+{
+
+inline uint64_t
+hashMask(unsigned bits)
+{
+    return bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+}
+
+/** Top @p bits of the 52-bit mantissa field of a raw double pattern. */
+inline uint64_t
+topMantissa(uint64_t fp_bits, unsigned bits)
+{
+    uint64_t frac = fp_bits & ((uint64_t{1} << fpMantissaBits) - 1);
+    if (bits == 0)
+        return 0;
+    if (bits >= fpMantissaBits)
+        return frac;
+    return frac >> (fpMantissaBits - bits);
+}
+
+} // namespace detail
+
 /** XOR the @p index_bits least significant bits of two integer operands. */
-uint64_t indexInt(uint64_t a, uint64_t b, unsigned index_bits);
+inline uint64_t
+indexInt(uint64_t a, uint64_t b, unsigned index_bits)
+{
+    return (a ^ b) & detail::hashMask(index_bits);
+}
 
 /**
  * XOR the @p index_bits most significant mantissa bits of two doubles
@@ -30,7 +64,12 @@ uint64_t indexInt(uint64_t a, uint64_t b, unsigned index_bits);
  * x*x XORs a mantissa with itself, indexing set 0 for every x. See
  * indexFpSum for the variant that avoids the pathology.
  */
-uint64_t indexFp(uint64_t a_bits, uint64_t b_bits, unsigned index_bits);
+inline uint64_t
+indexFp(uint64_t a_bits, uint64_t b_bits, unsigned index_bits)
+{
+    return detail::topMantissa(a_bits, index_bits) ^
+           detail::topMantissa(b_bits, index_bits);
+}
 
 /**
  * Additive variant: the top mantissa fields of both operands are
@@ -39,17 +78,31 @@ uint64_t indexFp(uint64_t a_bits, uint64_t b_bits, unsigned index_bits);
  * 2*top(x), which still spreads across sets). An n-bit adder in
  * hardware; used as the default fp indexing scheme.
  */
-uint64_t indexFpSum(uint64_t a_bits, uint64_t b_bits,
-                    unsigned index_bits);
+inline uint64_t
+indexFpSum(uint64_t a_bits, uint64_t b_bits, unsigned index_bits)
+{
+    return (detail::topMantissa(a_bits, index_bits) +
+            detail::topMantissa(b_bits, index_bits)) &
+           detail::hashMask(index_bits);
+}
 
 /**
  * Index hash for unary operations (sqrt, log, trig extension units):
  * the top mantissa bits of the single operand.
  */
-uint64_t indexFpUnary(uint64_t a_bits, unsigned index_bits);
+inline uint64_t
+indexFpUnary(uint64_t a_bits, unsigned index_bits)
+{
+    return detail::topMantissa(a_bits, index_bits);
+}
 
 /** Integer log2 of a power of two. Asserts on non-powers. */
-unsigned log2Exact(uint64_t v);
+inline unsigned
+log2Exact(uint64_t v)
+{
+    assert(v != 0 && std::has_single_bit(v));
+    return static_cast<unsigned>(std::countr_zero(v));
+}
 
 } // namespace memo
 

@@ -17,8 +17,11 @@
 #ifndef MEMO_ARITH_TRIVIAL_HH
 #define MEMO_ARITH_TRIVIAL_HH
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
+
+#include "fp.hh"
 
 namespace memo
 {
@@ -44,6 +47,15 @@ struct Trivial
     double result;
 };
 
+// The detectors below run once per table access in the replay hot
+// loop; they are defined inline so the probe path pays a handful of
+// compares, not a function call. The exact == compares against
+// 1.0 / -1.0 are the mechanism, not an accident: the hardware
+// trivial-operand detector matches the operand's bit pattern against
+// a handful of constants (Citron et al., section 2). An epsilon here
+// would change which operations count as trivial. memo-FP-001 is
+// suppressed per site.
+
 /**
  * Classify a floating point multiplication.
  *
@@ -52,15 +64,59 @@ struct Trivial
  * @param extended also detect the Richardson-style extended set
  * @return the trivial classification, or nullopt for a non-trivial op
  */
-std::optional<Trivial> trivialFpMul(double a, double b,
-                                    bool extended = false);
+inline std::optional<Trivial>
+trivialFpMul(double a, double b, bool extended = false)
+{
+    if (std::isnan(a) || std::isnan(b) || std::isinf(a) || std::isinf(b))
+        return std::nullopt;
+    if (fpIsZero(a) || fpIsZero(b))
+        return Trivial{TrivialKind::MulByZero, a * b};
+    if (a == 1.0) // NOLINT(memo-FP-001)
+        return Trivial{TrivialKind::MulByOne, b};
+    if (b == 1.0) // NOLINT(memo-FP-001)
+        return Trivial{TrivialKind::MulByOne, a};
+    if (extended) {
+        if (a == -1.0) // NOLINT(memo-FP-001)
+            return Trivial{TrivialKind::MulByNegOne, -b};
+        if (b == -1.0) // NOLINT(memo-FP-001)
+            return Trivial{TrivialKind::MulByNegOne, -a};
+    }
+    return std::nullopt;
+}
 
 /** Classify a floating point division (see trivialFpMul). */
-std::optional<Trivial> trivialFpDiv(double a, double b,
-                                    bool extended = false);
+inline std::optional<Trivial>
+trivialFpDiv(double a, double b, bool extended = false)
+{
+    if (std::isnan(a) || std::isnan(b) || std::isinf(a) || std::isinf(b))
+        return std::nullopt;
+    if (fpIsZero(b))
+        return std::nullopt; // division by zero is exceptional, not trivial
+    if (b == 1.0) // NOLINT(memo-FP-001)
+        return Trivial{TrivialKind::DivByOne, a};
+    if (fpIsZero(a))
+        return Trivial{TrivialKind::ZeroDividend, a / b};
+    if (extended) {
+        if (b == -1.0) // NOLINT(memo-FP-001)
+            return Trivial{TrivialKind::DivByNegOne, -a};
+        if (a == b) // NOLINT(memo-FP-001)
+            return Trivial{TrivialKind::DivBySelf, 1.0};
+    }
+    return std::nullopt;
+}
 
 /** Classify a floating point square root (extended set only). */
-std::optional<Trivial> trivialFpSqrt(double a, bool extended = false);
+inline std::optional<Trivial>
+trivialFpSqrt(double a, bool extended = false)
+{
+    if (!extended)
+        return std::nullopt;
+    if (fpIsZero(a))
+        return Trivial{TrivialKind::SqrtOfZero, a};
+    if (a == 1.0) // NOLINT(memo-FP-001)
+        return Trivial{TrivialKind::SqrtOfOne, 1.0};
+    return std::nullopt;
+}
 
 /** Integer-multiply trivial classification result. */
 struct TrivialInt
@@ -70,8 +126,29 @@ struct TrivialInt
 };
 
 /** Classify an integer multiplication. */
-std::optional<TrivialInt> trivialIntMul(int64_t a, int64_t b,
-                                        bool extended = false);
+inline std::optional<TrivialInt>
+trivialIntMul(int64_t a, int64_t b, bool extended = false)
+{
+    if (a == 0 || b == 0)
+        return TrivialInt{TrivialKind::MulByZero, 0};
+    if (a == 1)
+        return TrivialInt{TrivialKind::MulByOne, b};
+    if (b == 1)
+        return TrivialInt{TrivialKind::MulByOne, a};
+    if (extended) {
+        // Negate through uint64: -INT64_MIN overflows int64 (UB), but
+        // the unit's wrap-around product of x * -1 is well defined.
+        if (a == -1)
+            return TrivialInt{
+                TrivialKind::MulByNegOne,
+                static_cast<int64_t>(-static_cast<uint64_t>(b))};
+        if (b == -1)
+            return TrivialInt{
+                TrivialKind::MulByNegOne,
+                static_cast<int64_t>(-static_cast<uint64_t>(a))};
+    }
+    return std::nullopt;
+}
 
 } // namespace memo
 

@@ -11,6 +11,7 @@
 #include "arith/fp.hh"
 #include "check/differ.hh"
 #include "core/bank.hh"
+#include "core/memo_table.hh"
 #include "sim/cpu.hh"
 #include "trace/trace.hh"
 
@@ -472,6 +473,125 @@ recipCacheCase(FuzzRng &rng, uint64_t case_index,
 }
 
 /**
+ * Batched-vs-scalar differential: the same fuzzed access stream is
+ * driven through MemoTable::probeBlock (in a fuzzed block size) and
+ * through the scalar lookup()/update() pair on an identically
+ * configured table. Statistics, valid-entry counts and the stored
+ * contents (checked by a second, pairwise lookup pass) must match
+ * exactly — probeBlock documents scalar equivalence, and this case
+ * holds it to that across every mode combination fuzzConfig() can
+ * draw. With inject_block_bug the batched side drops the last access
+ * of every full block (the off-by-one a blocked loop is most likely
+ * to grow) and the harness must catch the divergence.
+ */
+std::optional<FuzzFailure>
+batchedReplayCase(FuzzRng &rng, uint64_t case_index,
+                  const FuzzOptions &opts, bool inject_block_bug)
+{
+    Operation op = fuzzOperation(rng);
+    MemoConfig cfg = fuzzConfig(rng);
+    std::vector<Access> stream = fuzzStream(rng, op, opts.streamLen);
+    // Block sizes straddling the interesting boundaries: degenerate
+    // single-access blocks, sizes that do not divide the stream, the
+    // replay loop's own granularity, and larger-than-stream.
+    static constexpr size_t block_sizes[] = {1,  2,   3,   7,
+                                             64, 256, 512, 4096};
+    const size_t block = block_sizes[rng.below(std::size(block_sizes))];
+
+    auto fails = [=](const std::vector<Access> &s)
+        -> std::optional<std::string> {
+        MemoTable scalar(op, cfg);
+        MemoTable batched(op, cfg);
+
+        std::vector<uint64_t> a, b, r;
+        a.reserve(s.size());
+        b.reserve(s.size());
+        r.reserve(s.size());
+        for (const Access &ac : s) {
+            uint64_t res = computeResult(op, ac.a, ac.b);
+            if (!scalar.lookup(ac.a, ac.b))
+                scalar.update(ac.a, ac.b, res);
+            a.push_back(ac.a);
+            b.push_back(ac.b);
+            r.push_back(res);
+        }
+        for (size_t base = 0; base < a.size(); base += block) {
+            size_t n = std::min(block, a.size() - base);
+            if (inject_block_bug && n == block && n > 1)
+                n--; // off-by-one: lose the block's last access
+            batched.probeBlock(a.data() + base, b.data() + base,
+                               r.data() + base, n);
+        }
+
+        const MemoStats &x = scalar.stats();
+        const MemoStats &y = batched.stats();
+        const std::pair<const char *, std::pair<uint64_t, uint64_t>>
+            fields[] = {
+                {"lookups", {x.lookups, y.lookups}},
+                {"hits", {x.hits, y.hits}},
+                {"trivialHits", {x.trivialHits, y.trivialHits}},
+                {"misses", {x.misses, y.misses}},
+                {"insertions", {x.insertions, y.insertions}},
+                {"evictions", {x.evictions, y.evictions}},
+                {"trivialBypassed",
+                 {x.trivialBypassed, y.trivialBypassed}},
+                {"parityMisses", {x.parityMisses, y.parityMisses}},
+            };
+        for (const auto &[name, v] : fields) {
+            if (v.first != v.second)
+                return std::string("stats diverge: ") + name +
+                       " scalar=" + std::to_string(v.first) +
+                       " batched=" + std::to_string(v.second);
+        }
+        if (scalar.validEntries() != batched.validEntries())
+            return "valid entry counts diverge: scalar=" +
+                   std::to_string(scalar.validEntries()) + " batched=" +
+                   std::to_string(batched.validEntries());
+
+        // Contents check: both tables, now in supposedly identical
+        // states, must answer a second pass over the stream with the
+        // same hit pattern and the same returned bits (the pass
+        // mutates both tables, but symmetrically).
+        for (size_t i = 0; i < a.size(); i++) {
+            auto va = scalar.lookup(a[i], b[i]);
+            auto vb = batched.lookup(a[i], b[i]);
+            if (va != vb)
+                return "stored contents diverge at readback " +
+                       std::to_string(i) + ": scalar " +
+                       (va ? hex(*va) : std::string("miss")) +
+                       ", batched " +
+                       (vb ? hex(*vb) : std::string("miss"));
+            if (!va) {
+                scalar.update(a[i], b[i], r[i]);
+                batched.update(a[i], b[i], r[i]);
+            }
+        }
+        return std::nullopt;
+    };
+
+    auto first = fails(stream);
+    if (!first)
+        return std::nullopt;
+    stream = shrinkStream(std::move(stream),
+                          [&](const std::vector<Access> &s) {
+                              return fails(s).has_value();
+                          });
+    FuzzFailure f;
+    f.caseIndex = case_index;
+    f.kind = inject_block_bug ? "batched-replay(+injected-block-bug)"
+                              : "batched-replay";
+    f.what = *fails(stream);
+    std::ostringstream repro;
+    repro << "memo_fuzz --seed " << opts.seed << " --iters "
+          << (case_index + 1) << " --stream " << opts.streamLen;
+    f.repro = repro.str();
+    f.detail = "op " + std::string(operationName(op)) + ", cfg " +
+               cfg.describe() + ", block " + std::to_string(block) +
+               "; " + dumpStream(op, stream);
+    return f;
+}
+
+/**
  * Whole-CPU differential: a random instruction trace replayed with
  * and without a random memo bank must retain instruction counts,
  * never get slower, and keep every table's statistics conserved
@@ -647,7 +767,7 @@ std::optional<FuzzFailure>
 runFuzzCase(uint64_t case_index, const FuzzOptions &opts)
 {
     FuzzRng rng = caseRng(opts.seed, case_index);
-    switch (rng.below(8)) {
+    switch (rng.below(9)) {
       case 0:
       case 1:
       case 2:
@@ -660,6 +780,8 @@ runFuzzCase(uint64_t case_index, const FuzzOptions &opts)
         return reuseBufferCase(rng, case_index, opts);
       case 6:
         return recipCacheCase(rng, case_index, opts);
+      case 7:
+        return batchedReplayCase(rng, case_index, opts, false);
       default:
         return cpuCase(rng, case_index, opts);
     }
@@ -692,20 +814,39 @@ fuzz(const FuzzOptions &opts, std::ostream *log)
 bool
 mutationSelfTest(const FuzzOptions &opts, std::ostream *log)
 {
+    bool tag_caught = false;
     for (uint64_t i = 0; i < opts.iters; i++) {
         FuzzRng rng = caseRng(opts.seed, i);
         if (auto f = tableCase(rng, i, opts, 0, true)) {
             if (log)
-                *log << "mutation caught at case " << i << ": "
+                *log << "tag mutation caught at case " << i << ": "
                      << f->what << "\n  " << f->detail << "\n";
-            return true;
+            tag_caught = true;
+            break;
         }
     }
-    if (log)
+    if (!tag_caught && log)
         *log << "MUTATION MISSED: injected tag-comparison bug "
                 "survived "
              << opts.iters << " cases (seed " << opts.seed << ")\n";
-    return false;
+
+    bool block_caught = false;
+    for (uint64_t i = 0; i < opts.iters; i++) {
+        FuzzRng rng = caseRng(opts.seed, i);
+        if (auto f = batchedReplayCase(rng, i, opts, true)) {
+            if (log)
+                *log << "block mutation caught at case " << i << ": "
+                     << f->what << "\n  " << f->detail << "\n";
+            block_caught = true;
+            break;
+        }
+    }
+    if (!block_caught && log)
+        *log << "MUTATION MISSED: injected block-boundary off-by-one "
+                "survived "
+             << opts.iters << " cases (seed " << opts.seed << ")\n";
+
+    return tag_caught && block_caught;
 }
 
 } // namespace memo::check

@@ -14,11 +14,13 @@
  * shrunk (greedy chunk removal) before being reported as a one-line
  * repro.
  *
- * The mutation self-test (mutationSelfTest) deliberately injects a
- * tag-comparison bug — the real table sees operand A with its top 16
- * bits forced to zero, the oracle sees the true operand — and verifies
- * the harness catches the resulting false hits. CI runs it to prove
- * the oracle has teeth (see docs/TESTING.md).
+ * The mutation self-test (mutationSelfTest) deliberately injects two
+ * bugs and requires both be caught: a tag-comparison bug — the real
+ * table sees operand A with its top 16 bits forced to zero, the
+ * oracle sees the true operand — producing false hits, and a
+ * block-boundary off-by-one in the batched-replay differential — the
+ * probeBlock side silently drops the last access of every full block.
+ * CI runs it to prove the oracles have teeth (see docs/TESTING.md).
  */
 
 #ifndef MEMO_CHECK_FUZZ_HH
@@ -117,9 +119,11 @@ std::optional<FuzzFailure> fuzz(const FuzzOptions &opts,
 
 /**
  * Mutation smoke test: rerun the MemoTable differential with an
- * injected tag-comparison bug and require the harness to catch it.
+ * injected tag-comparison bug, and the batched-replay differential
+ * with an injected block-boundary off-by-one, requiring the harness
+ * to catch both.
  *
- * @return true when the oracle detected the injected bug
+ * @return true when the oracles detected both injected bugs
  */
 bool mutationSelfTest(const FuzzOptions &opts,
                       std::ostream *log = nullptr);

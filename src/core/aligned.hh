@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Minimal aligned allocator for workload and image buffers.
+ *
+ * Recorded traces renumber cache lines but keep each address's
+ * intra-line offset (Recorder::remap), so the low bits of a host
+ * buffer address flow into the trace. glibc malloc only guarantees
+ * 16-byte alignment: an unrelated earlier allocation can shift a
+ * buffer between the 16-byte slots of a 32-byte modeled line and move
+ * recorded line-split patterns — and downstream cycle counts — with
+ * it. Allocating every recorded buffer at (at least) the modeled line
+ * size pins the intra-line offset of element i to (i * sizeof(T)) %
+ * line, a pure function of the workload, independent of heap layout.
+ */
+
+#ifndef MEMO_CORE_ALIGNED_HH
+#define MEMO_CORE_ALIGNED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace memo
+{
+
+/** Modeled cache-line size; Recorder::remap granularity matches. */
+inline constexpr std::size_t kRecordedLineBytes = 32;
+
+/**
+ * Process-wide host-line generation counters, bumped when a recorded
+ * buffer is freed.
+ *
+ * Recorder::remap assigns trace line IDs to host lines first-touch.
+ * Keyed by the host line alone, the mapping outlives buffers: when
+ * malloc hands a later buffer the region of a freed one, the new
+ * buffer inherits the old buffer's line IDs — but only if the
+ * allocator happened to reuse that region, so heap layout leaks into
+ * line sharing. AlignedAllocator reports every deallocation here;
+ * remap keys its map by (line, generation), so a re-used region gets
+ * fresh IDs exactly as an untouched one would, and trace line IDs
+ * become a pure function of the workload's allocation/access
+ * sequence. Thread-safe (parallel sweeps record concurrently).
+ */
+class LineGenerations
+{
+  public:
+    static LineGenerations &
+    instance()
+    {
+        // Intentionally leaked: deallocate() runs from destructors of
+        // static-storage buffers (e.g. the bundled images) during
+        // program teardown, after a function-local static object
+        // would already be gone.
+        static LineGenerations *g = // NOLINT(memo-CONC-003)
+            new LineGenerations;
+        return *g;
+    }
+
+    /** A recorded buffer [p, p + bytes) was freed; retire its lines. */
+    void
+    onFree(const void *p, std::size_t bytes)
+    {
+        uint64_t base = reinterpret_cast<uintptr_t>(p);
+        uint64_t first = base / kRecordedLineBytes;
+        uint64_t last = (base + bytes - 1) / kRecordedLineBytes;
+        std::lock_guard<std::mutex> lock(mu);
+        for (uint64_t line = first; line <= last; line++)
+            gen[line]++;
+    }
+
+    /** Current generation of a host line (0 = never freed). */
+    uint32_t
+    of(uint64_t line)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = gen.find(line);
+        return it == gen.end() ? 0 : it->second;
+    }
+
+  private:
+    LineGenerations() = default;
+
+    std::mutex mu;
+    std::unordered_map<uint64_t, uint32_t> gen;
+};
+
+/** std::allocator drop-in returning Align-aligned blocks. */
+template <typename T, std::size_t Align = kRecordedLineBytes>
+struct AlignedAllocator
+{
+    static_assert((Align & (Align - 1)) == 0, "power of two");
+    static_assert(Align >= alignof(T), "under-aligned for T");
+
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        LineGenerations::instance().onFree(p, n * sizeof(T));
+        ::operator delete(p, std::align_val_t{Align});
+    }
+};
+
+template <typename T, typename U, std::size_t A>
+bool
+operator==(const AlignedAllocator<T, A> &, const AlignedAllocator<U, A> &)
+{
+    return true;
+}
+
+template <typename T, typename U, std::size_t A>
+bool
+operator!=(const AlignedAllocator<T, A> &, const AlignedAllocator<U, A> &)
+{
+    return false;
+}
+
+/** Vector whose data() is aligned to the modeled cache-line size. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace memo
+
+#endif // MEMO_CORE_ALIGNED_HH

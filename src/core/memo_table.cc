@@ -444,4 +444,293 @@ MemoTable::update(uint64_t a_bits, uint64_t b_bits, uint64_t result_bits)
     emitEvent(TableEventKind::Insert, index);
 }
 
+void
+MemoTable::probeBlock(const uint64_t *a_bits, const uint64_t *b_bits,
+                      const uint64_t *result_bits, size_t n)
+{
+    // An attached observer must see the exact per-access event stream;
+    // keep the scalar path, which emits through emitEvent().
+    if (hooks_) {
+        for (size_t i = 0; i < n; i++) {
+            if (!lookup(a_bits[i], b_bits[i]))
+                update(a_bits[i], b_bits[i], result_bits[i]);
+        }
+        return;
+    }
+
+    // Per-table invariants, hoisted out of the access loop. Every
+    // branch below mirrors one path of lookup()/update(); the stat
+    // counters, tick bumps and rng draws happen in the same order as
+    // the scalar pair, so the final table state is bit-identical.
+    const bool filter_trivial = cfg.trivialMode != TrivialMode::CacheAll;
+    const bool bypass_trivial =
+        cfg.trivialMode == TrivialMode::NonTrivialOnly;
+    const bool mant = mantissaMode();
+    const bool unary = isUnary(op);
+    const bool lru = cfg.replacement == Replacement::Lru;
+    const bool random_repl = cfg.replacement == Replacement::Random;
+    const bool parity = cfg.parityProtected;
+    const bool infinite = cfg.infinite;
+    const bool ext = cfg.extendedTrivial;
+
+    // Tag, commutativity and set-index decisions, resolved once; the
+    // scalar helpers re-derive them from the config on every call.
+    const bool commutative = isCommutative(op);
+    const unsigned n_ways = cfg.ways;
+    const unsigned ib = indexBits;
+    const uint64_t ib_mask =
+        ib >= 64 ? ~uint64_t{0} : (uint64_t{1} << ib) - 1;
+    enum { IdxNone, IdxInt, IdxUnary, IdxSum, IdxXor };
+    const int idx_kind =
+        ib == 0             ? IdxNone
+        : op == Operation::IntMul ? IdxInt
+        : unary             ? IdxUnary
+        : cfg.hashScheme == HashScheme::Additive ? IdxSum
+                                                 : IdxXor;
+    Entry *const ents = entries.data();
+
+    // Operation shape for the trivial pre-filter below.
+    const bool qr_int = op == Operation::IntMul;
+    const bool qr_fpmul = op == Operation::FpMul;
+    const bool qr_fpdiv = op == Operation::FpDiv;
+    const bool qr_fpsqrt = op == Operation::FpSqrt;
+    constexpr uint64_t kOneBits = 0x3ff0000000000000ULL;
+    constexpr uint64_t kNegOneBits = 0xbff0000000000000ULL;
+
+    // Counter and tick state lives in registers for the whole block;
+    // one fold-back below keeps the members off the per-access path.
+    uint64_t n_bypassed = 0, n_lookups = 0, n_trivial_hits = 0;
+    uint64_t n_hits = 0, n_misses = 0, n_parity = 0;
+    uint64_t n_insertions = 0, n_evictions = 0;
+    uint64_t t = tick;
+
+    for (size_t i = 0; i < n; i++) {
+        uint64_t a = a_bits[i];
+        uint64_t b = b_bits[i];
+
+        // Branch-free trivial pre-filter: a few integer compares
+        // decide whether the operands can possibly be trivial (a
+        // zero / one / extended-set constant is involved). Only those
+        // rare candidates take the full detector, which remains the
+        // single source of truth; everything else skips it on one
+        // well-predicted branch. NaN/inf operands need no test here:
+        // the detectors classify them non-trivial anyway.
+        bool rare = false;
+        if (filter_trivial) {
+            if (qr_int) {
+                rare = (a == 0) | (b == 0) | (a == 1) | (b == 1);
+                if (ext)
+                    rare |= (a == ~uint64_t{0}) | (b == ~uint64_t{0});
+            } else if (qr_fpmul) {
+                rare = ((a << 1) == 0) | ((b << 1) == 0) |
+                       (a == kOneBits) | (b == kOneBits);
+                if (ext)
+                    rare |= (a == kNegOneBits) | (b == kNegOneBits);
+            } else if (qr_fpdiv) {
+                // b == ±0 / NaN / inf are non-trivial; a == b (the
+                // ext DivBySelf test) compares equal as doubles iff
+                // the bits match, zeros and NaNs having been ruled
+                // out by the detector itself.
+                rare = ((a << 1) == 0) | (b == kOneBits);
+                if (ext)
+                    rare |= (b == kNegOneBits) | (a == b);
+            } else if (qr_fpsqrt) {
+                rare = ext & (((a << 1) == 0) | (a == kOneBits));
+            }
+        }
+
+        uint64_t trivial_result;
+        if (rare && checkTrivial(a, b, trivial_result)) {
+            if (bypass_trivial) {
+                // Filtered before the table; update() skips it too.
+                n_bypassed++;
+            } else {
+                // Integrated: the in-table detector answers.
+                n_lookups++;
+                n_trivial_hits++;
+            }
+            continue;
+        }
+
+        n_lookups++;
+        if (mant && !taggable(a, b)) {
+            n_misses++; // update() skips untaggable operands
+            continue;
+        }
+
+        // makeTag() is the identity outside mantissa mode; the NaN
+        // order guard (commutableBits) only ever bites for FpMul.
+        uint64_t tag_a, tag_b;
+        if (mant) {
+            tag_a = makeTag(a);
+            tag_b = unary ? 0 : makeTag(b);
+        } else {
+            tag_a = a;
+            tag_b = unary ? 0 : b;
+        }
+        bool swap_ok = commutative;
+        if (qr_fpmul)
+            swap_ok = commutative &&
+                      !(fpIsNaNBits(a) && fpIsNaNBits(b));
+
+        if (infinite) {
+            InfKey key{tag_a, tag_b};
+            if (swap_ok && key.b < key.a)
+                std::swap(key.a, key.b);
+            auto it = infTable.find(key);
+            bool present = it != infTable.end();
+            if (present) {
+                uint64_t result = it->second.value;
+                if (!mant || reconstruct(a, b, it->second.value,
+                                         it->second.delta, result)) {
+                    n_hits++;
+                    continue;
+                }
+                // Reconstruct failed: a miss, then update() rewrites
+                // the existing entry in place (no insertion counted).
+            }
+            n_misses++;
+            uint64_t value = result_bits[i];
+            int8_t delta = 0;
+            if (mant) {
+                uint64_t frac;
+                if (!derivePayload(a, b, result_bits[i], frac, delta))
+                    continue;
+                value = frac;
+            }
+            if (present) {
+                it->second = InfValue{value, delta};
+            } else {
+                infTable.emplace(key, InfValue{value, delta});
+                n_insertions++;
+            }
+            continue;
+        }
+
+        uint64_t index;
+        switch (idx_kind) {
+          case IdxInt:
+            index = (a ^ b) & ib_mask;
+            break;
+          case IdxUnary:
+            index = detail::topMantissa(a, ib);
+            break;
+          case IdxSum:
+            index = (detail::topMantissa(a, ib) +
+                     detail::topMantissa(b, ib)) &
+                    ib_mask;
+            break;
+          case IdxXor:
+            index = detail::topMantissa(a, ib) ^
+                    detail::topMantissa(b, ib);
+            break;
+          default:
+            index = 0;
+        }
+
+        // findEntry(), unrolled here over hoisted geometry: the first
+        // way matching in direct or (when allowed) swapped order.
+        Entry *const set = ents + index * n_ways;
+        Entry *e = nullptr;
+        for (unsigned w = 0; w < n_ways; w++) {
+            Entry &c = set[w];
+            if (!c.valid)
+                continue;
+            if ((c.tagA == tag_a && c.tagB == tag_b) ||
+                (swap_ok && c.tagA == tag_b && c.tagB == tag_a)) {
+                e = &c;
+                break;
+            }
+        }
+        Entry *rewrite = nullptr;
+        if (e) {
+            if (parity &&
+                entryParity(e->tagA, e->tagB, e->value) != e->parity) {
+                // Soft error: drop the entry; update() then takes the
+                // victim path (the slot just freed, or an earlier
+                // invalid way — same scan as the scalar pair).
+                e->valid = false;
+                n_parity++;
+                n_misses++;
+            } else {
+                uint64_t result = e->value;
+                if (mant &&
+                    !reconstruct(a, b, e->value, e->delta, result)) {
+                    n_misses++;
+                    rewrite = e; // update() finds this same entry
+                } else {
+                    if (lru)
+                        e->tick = ++t;
+                    n_hits++;
+                    continue;
+                }
+            }
+        } else {
+            n_misses++;
+        }
+
+        // Miss path: install, mirroring update() with the trivial,
+        // taggability and tag computations already done above.
+        uint64_t value = result_bits[i];
+        int8_t delta = 0;
+        if (mant) {
+            uint64_t frac;
+            if (!derivePayload(a, b, result_bits[i], frac, delta))
+                continue;
+            value = frac;
+        }
+        if (rewrite) {
+            rewrite->value = value;
+            rewrite->delta = delta;
+            rewrite->parity =
+                entryParity(rewrite->tagA, rewrite->tagB, value);
+            if (lru)
+                rewrite->tick = ++t;
+            continue;
+        }
+        // victimEntry(), same scan order: first invalid way, else the
+        // policy's choice (the rng is drawn only for a full set).
+        Entry *victim = nullptr;
+        for (unsigned w = 0; w < n_ways; w++) {
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+        }
+        if (!victim) {
+            if (random_repl) {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                victim = &set[rng % n_ways];
+            } else {
+                victim = &set[0];
+                for (unsigned w = 1; w < n_ways; w++) {
+                    if (set[w].tick < victim->tick)
+                        victim = &set[w];
+                }
+            }
+            n_evictions++;
+        }
+        victim->valid = true;
+        victim->tagA = tag_a;
+        victim->tagB = tag_b;
+        victim->value = value;
+        victim->delta = delta;
+        victim->parity = entryParity(tag_a, tag_b, value);
+        victim->tick = ++t;
+        n_insertions++;
+    }
+
+    tick = t;
+    stats_.trivialBypassed += n_bypassed;
+    stats_.lookups += n_lookups;
+    stats_.trivialHits += n_trivial_hits;
+    stats_.hits += n_hits;
+    stats_.misses += n_misses;
+    stats_.parityMisses += n_parity;
+    stats_.insertions += n_insertions;
+    stats_.evictions += n_evictions;
+}
+
 } // namespace memo

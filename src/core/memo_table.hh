@@ -91,6 +91,21 @@ class MemoTable
     }
 
     /**
+     * Batched replay probe: for each of the @p n accesses, perform
+     * lookup(a_bits[i], b_bits[i]) and, on a miss, update() with
+     * result_bits[i] — the replay hot loop, fused and devirtualized.
+     *
+     * Exactly equivalent to the scalar calls: the same statistics,
+     * entry states, LRU tick sequence and replacement RNG draws. The
+     * fast path hoists the per-access mode tests (trivial handling,
+     * tag mode, geometry, replacement, parity) out of the loop; when
+     * an observer is attached via setHooks() the scalar path is taken
+     * instead so the emitted event stream is unchanged.
+     */
+    void probeBlock(const uint64_t *a_bits, const uint64_t *b_bits,
+                    const uint64_t *result_bits, size_t n);
+
+    /**
      * Fault-injection hook: flip bit @p bit of the stored value of
      * entry (@p set, @p way). With parityProtected the corruption is
      * detected on the next hit (a parity miss); without it the wrong

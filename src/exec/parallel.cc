@@ -1,5 +1,6 @@
 #include "parallel.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <latch>
@@ -10,13 +11,16 @@ namespace memo::exec
 
 void
 parallelFor(size_t n, const std::function<void(size_t)> &body,
-            unsigned jobs)
+            unsigned jobs, size_t grain)
 {
     if (n == 0)
         return;
+    if (grain == 0)
+        grain = 1;
     if (jobs == 0)
         jobs = ThreadPool::defaultJobs();
-    size_t runners = std::min<size_t>(jobs, n);
+    size_t blocks = (n + grain - 1) / grain;
+    size_t runners = std::min<size_t>(jobs, blocks);
 
     // Serial baseline: explicit single job, trivial loops, and nested
     // parallelism (a pool worker waiting on the pool would deadlock).
@@ -42,11 +46,15 @@ parallelFor(size_t n, const std::function<void(size_t)> &body,
 
     auto runner = [&] {
         for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n || failed.load(std::memory_order_relaxed))
+            // Claim one contiguous block of indices per atomic grab.
+            size_t start =
+                next.fetch_add(grain, std::memory_order_relaxed);
+            if (start >= n || failed.load(std::memory_order_relaxed))
                 break;
+            size_t end = std::min(start + grain, n);
             try {
-                body(i);
+                for (size_t i = start; i < end; i++)
+                    body(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lk(error_m);
                 if (!error)

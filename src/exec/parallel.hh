@@ -31,12 +31,18 @@ namespace memo::exec
  *        With jobs == 1 (or n <= 1, or when called from inside a pool
  *        worker) the loop runs inline, in index order, on the calling
  *        thread — the serial baseline path.
+ * @param grain indices claimed per atomic work grab. Workers take
+ *        contiguous [i, i+grain) blocks, so cheap items amortize the
+ *        claim and items sharing per-block state (e.g. one kernel's
+ *        images in a sweep shard) tend to land on one worker. 0 is
+ *        treated as 1. Results never depend on grain — only the
+ *        assignment of indices to workers does.
  *
  * The first exception thrown by any iteration is rethrown on the
  * calling thread once every worker has stopped.
  */
 void parallelFor(size_t n, const std::function<void(size_t)> &body,
-                 unsigned jobs = 0);
+                 unsigned jobs = 0, size_t grain = 1);
 
 /**
  * Map [0, n) through @p fn into an index-aligned result vector:
@@ -45,23 +51,25 @@ void parallelFor(size_t n, const std::function<void(size_t)> &body,
  */
 template <typename Fn>
 auto
-sweep(size_t n, Fn &&fn, unsigned jobs = 0)
+sweep(size_t n, Fn &&fn, unsigned jobs = 0, size_t grain = 1)
     -> std::vector<std::decay_t<decltype(fn(size_t{0}))>>
 {
     std::vector<std::decay_t<decltype(fn(size_t{0}))>> out(n);
     parallelFor(
-        n, [&](size_t i) { out[i] = fn(i); }, jobs);
+        n, [&](size_t i) { out[i] = fn(i); }, jobs, grain);
     return out;
 }
 
 /** Map a vector of work items: out[i] == fn(items[i]). */
 template <typename Item, typename Fn>
 auto
-sweep(const std::vector<Item> &items, Fn &&fn, unsigned jobs = 0)
+sweep(const std::vector<Item> &items, Fn &&fn, unsigned jobs = 0,
+      size_t grain = 1)
     -> std::vector<std::decay_t<decltype(fn(items[size_t{0}]))>>
 {
     return sweep(
-        items.size(), [&](size_t i) { return fn(items[i]); }, jobs);
+        items.size(), [&](size_t i) { return fn(items[i]); }, jobs,
+        grain);
 }
 
 } // namespace memo::exec

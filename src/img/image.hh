@@ -14,7 +14,8 @@
 
 #include <cassert>
 #include <string_view>
-#include <vector>
+
+#include "core/aligned.hh"
 
 namespace memo
 {
@@ -71,8 +72,10 @@ class Image
         return at(x, y, band);
     }
 
-    const std::vector<float> &raw() const { return data; }
-    std::vector<float> &raw() { return data; }
+    // Line-aligned so recorded sample addresses have heap-layout-
+    // independent intra-line offsets (see core/aligned.hh).
+    const AlignedVec<float> &raw() const { return data; }
+    AlignedVec<float> &raw() { return data; }
 
     /**
      * Coerce samples to the image's declared type: BYTE samples are
@@ -98,7 +101,7 @@ class Image
     int h = 0;
     int nb = 0;
     PixelType ty = PixelType::Byte;
-    std::vector<float> data;
+    AlignedVec<float> data;
 };
 
 } // namespace memo

@@ -27,6 +27,15 @@ CpuModel::run(const Trace &trace, MemoBank *bank)
     SimResult res;
     MemoryHierarchy hier(cfg.l1, cfg.l2, cfg.memoryLatency);
 
+    // Hoist the per-instruction bank->table() map find out of the hot
+    // loop: one table pointer per instruction class, resolved once.
+    MemoTable *tables[numInstClasses] = {};
+    if (bank) {
+        for (unsigned c = 0; c < numInstClasses; c++)
+            if (auto op = memoOperation(static_cast<InstClass>(c)))
+                tables[c] = bank->table(*op);
+    }
+
     // Progress batching: one relaxed add per 64 Ki instructions keeps
     // the heartbeat's counter out of the hot loop's cache traffic.
     constexpr uint64_t progressBatch = 64 * 1024;
@@ -50,9 +59,7 @@ CpuModel::run(const Trace &trace, MemoBank *bank)
                                     static_cast<int64_t>(inst.b))
                           .cycles;
             }
-            auto op = memoOperation(inst.cls);
-            MemoTable *table =
-                bank && op ? bank->table(*op) : nullptr;
+            MemoTable *table = tables[cls_idx];
             if (table) {
                 if (auto v = table->lookup(inst.a, inst.b)) {
                     // A successful lookup gives the result of a

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "arith/fp.hh"
+#include "core/aligned.hh"
 
 namespace memo
 {
@@ -11,8 +12,18 @@ namespace memo
 namespace
 {
 
-/** Bytes per cache line used for the deterministic address remapping. */
-constexpr unsigned lineShift = 6;
+/**
+ * Bytes per line used for the deterministic address remapping, as a
+ * shift: 32 bytes, matching the modeled cache line (kRecordedLineBytes)
+ * exactly. remap() keeps an address's intra-line offset, so the remap
+ * granularity must not exceed the modeled line — a coarser remap would
+ * let host heap placement within the larger line leak into which
+ * modeled lines the trace touches. Recorded buffers are allocated at
+ * line alignment (core/aligned.hh) so the kept low bits are a pure
+ * function of the workload.
+ */
+constexpr unsigned lineShift = 5;
+static_assert((1u << lineShift) == kRecordedLineBytes);
 
 uint32_t
 fnv1a(const char *s)
@@ -52,10 +63,17 @@ Recorder::remap(const void *addr)
 {
     uint64_t host = reinterpret_cast<uintptr_t>(addr);
     uint64_t line = host >> lineShift;
-    auto [it, inserted] = lineMap.try_emplace(line, nextLine);
-    if (inserted)
-        nextLine++;
-    return (it->second << lineShift) | (host & ((1u << lineShift) - 1));
+    // Key the first-touch mapping by (line, lifetime): a host line
+    // whose buffer was freed since we numbered it (malloc may hand
+    // the region to a later buffer) gets a fresh number, exactly as
+    // untouched ground would — whether the allocator reuses a region
+    // must not show in the trace.
+    uint32_t g = LineGenerations::instance().of(line);
+    auto [it, inserted] = lineMap.try_emplace(line, LineMapping{g, 0});
+    if (inserted || it->second.gen != g)
+        it->second = {g, nextLine++};
+    return (it->second.id << lineShift) |
+           (host & ((1u << lineShift) - 1));
 }
 
 void

@@ -104,12 +104,19 @@ class Recorder
     void pushOp(InstClass cls, uint64_t a, uint64_t b, uint64_t result,
                 const std::source_location &loc);
 
+    /** First-touch mapping of one host line, valid for one lifetime. */
+    struct LineMapping
+    {
+        uint32_t gen; //!< LineGenerations value when assigned
+        uint64_t id;  //!< the trace line number handed out
+    };
+
     Trace &trace_;
     // Pointer-keyed, but a pure lookup cache: the stored value is the
     // FNV-1a hash of the string contents and the map is never
     // iterated, so addresses never reach the trace.
     std::unordered_map<const char *, uint32_t> fileHashes; // NOLINT(memo-DET-003)
-    std::unordered_map<uint64_t, uint64_t> lineMap;
+    std::unordered_map<uint64_t, LineMapping> lineMap;
     uint64_t nextLine = 0;
 };
 

@@ -28,9 +28,11 @@
 #ifndef MEMO_TRACE_TRACE_STORE_HH
 #define MEMO_TRACE_TRACE_STORE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
+#include <memory>
 #include <vector>
 
 #include "trace/instruction.hh"
@@ -42,6 +44,37 @@ namespace memo
 class TraceStore
 {
   public:
+    TraceStore() = default;
+    TraceStore(TraceStore &&) = default;
+    TraceStore &operator=(TraceStore &&) = default;
+    // Copies share no partition cache; the copy rebuilds lazily.
+    TraceStore(const TraceStore &o)
+        : cls_(o.cls_), pc_(o.pc_), payload_(o.payload_),
+          opCls_(o.opCls_), opA_(o.opA_), opB_(o.opB_),
+          opRes_(o.opRes_), addr_(o.addr_)
+    {
+    }
+    TraceStore &
+    operator=(const TraceStore &o)
+    {
+        cls_ = o.cls_;
+        pc_ = o.pc_;
+        payload_ = o.payload_;
+        opCls_ = o.opCls_;
+        opA_ = o.opA_;
+        opB_ = o.opB_;
+        opRes_ = o.opRes_;
+        addr_ = o.addr_;
+        part_.reset();
+        return *this;
+    }
+
+    /** Dense single-class partition of the operand columns. */
+    struct ClassColumns
+    {
+        std::vector<uint64_t> a, b, r;
+    };
+
     /** True for classes carrying operand/result payload words. */
     static constexpr bool
     hasOperands(InstClass cls)
@@ -76,6 +109,7 @@ class TraceStore
         pc_.push_back(inst.pc);
         if (hasOperands(inst.cls)) {
             payload_.push_back(static_cast<uint32_t>(opA_.size()));
+            opCls_.push_back(static_cast<uint8_t>(inst.cls));
             opA_.push_back(inst.a);
             opB_.push_back(inst.b);
             opRes_.push_back(inst.result);
@@ -108,16 +142,47 @@ class TraceStore
     size_t size() const { return cls_.size(); }
     bool empty() const { return cls_.empty(); }
 
+    /**
+     * Batched-replay view of the operand side columns: the
+     * operand-carrying records only, in trace order, as contiguous
+     * arrays. opClasses()[i] is the class of the access whose operand
+     * words are opA()[i]/opB()[i]/opResults()[i]; records without
+     * operands (IntAlu, Load, ...) do not appear. replayMemo() streams
+     * these four columns directly instead of materializing an
+     * Instruction per record.
+     */
+    size_t opCount() const { return opA_.size(); }
+    const uint8_t *opClasses() const { return opCls_.data(); }
+    const uint64_t *opA() const { return opA_.data(); }
+    const uint64_t *opB() const { return opB_.data(); }
+    const uint64_t *opResults() const { return opRes_.data(); }
+
+    /**
+     * Dense per-class view of the operand columns: the a/b/result
+     * words of every record of class @p cls, contiguous and in trace
+     * order. Built for all classes on first use and cached (a trace
+     * is recorded once and replayed many times); the cache rebuilds
+     * itself if the store grew since, and is not shared by copies.
+     * Thread-safe: concurrent first calls from parallel sweep workers
+     * serialize on an internal mutex. The returned reference stays
+     * valid while the store exists unmutated. Cache memory is a
+     * derived copy of the operand columns and is not counted by
+     * memoryBytes().
+     */
+    const ClassColumns &classColumns(InstClass cls) const;
+
     void
     clear()
     {
         cls_.clear();
         pc_.clear();
         payload_.clear();
+        opCls_.clear();
         opA_.clear();
         opB_.clear();
         opRes_.clear();
         addr_.clear();
+        part_.reset();
     }
 
     /**
@@ -133,6 +198,7 @@ class TraceStore
         pc_.reserve(n);
         payload_.reserve(n);
         size_t ops = static_cast<size_t>(n * op_fraction);
+        opCls_.reserve(ops);
         opA_.reserve(ops);
         opB_.reserve(ops);
         opRes_.reserve(ops);
@@ -144,7 +210,7 @@ class TraceStore
     memoryBytes() const
     {
         return cls_.size() * (sizeof(uint8_t) + sizeof(uint32_t) * 2) +
-               opA_.size() * sizeof(uint64_t) * 3 +
+               opA_.size() * (sizeof(uint64_t) * 3 + sizeof(uint8_t)) +
                addr_.size() * sizeof(uint64_t);
     }
 
@@ -210,11 +276,22 @@ class TraceStore
     std::vector<uint32_t> pc_;
     std::vector<uint32_t> payload_; //!< index into opA_/opB_/opRes_ or addr_
 
-    // Side columns, indexed by payload_.
+    // Side columns, indexed by payload_. opCls_ repeats the class of
+    // each operand-carrying record so batched replay can walk the
+    // operand columns alone (see opClasses()).
+    std::vector<uint8_t> opCls_;
     std::vector<uint64_t> opA_;
     std::vector<uint64_t> opB_;
     std::vector<uint64_t> opRes_;
     std::vector<uint64_t> addr_;
+
+    /** Lazily built per-class partition (see classColumns()). */
+    struct Partition
+    {
+        size_t builtFor = SIZE_MAX; //!< opA_.size() when built
+        std::array<ClassColumns, numInstClasses> cols;
+    };
+    mutable std::unique_ptr<Partition> part_;
 };
 
 } // namespace memo

@@ -24,7 +24,7 @@ cmul(Recorder &rec, std::complex<double> x, std::complex<double> w)
 } // anonymous namespace
 
 void
-fftInstrumented(Recorder &rec, std::vector<std::complex<double>> &a,
+fftInstrumented(Recorder &rec, AlignedVec<std::complex<double>> &a,
                 bool inverse)
 {
     size_t n = a.size();
@@ -87,11 +87,11 @@ fftInstrumented(Recorder &rec, std::vector<std::complex<double>> &a,
 
 void
 fft2dInstrumented(Recorder &rec,
-                  std::vector<std::complex<double>> &field, int size,
+                  AlignedVec<std::complex<double>> &field, int size,
                   bool inverse)
 {
     assert(static_cast<size_t>(size) * size == field.size());
-    std::vector<std::complex<double>> line(size);
+    AlignedVec<std::complex<double>> line(size);
 
     for (int y = 0; y < size; y++) {
         for (int x = 0; x < size; x++)

@@ -14,15 +14,15 @@
 #define MEMO_WORKLOADS_FFT_HH
 
 #include <complex>
-#include <vector>
 
+#include "core/aligned.hh"
 #include "trace/recorder.hh"
 
 namespace memo
 {
 
 /** In-place instrumented FFT of a power-of-two complex vector. */
-void fftInstrumented(Recorder &rec, std::vector<std::complex<double>> &a,
+void fftInstrumented(Recorder &rec, AlignedVec<std::complex<double>> &a,
                      bool inverse);
 
 /**
@@ -30,7 +30,7 @@ void fftInstrumented(Recorder &rec, std::vector<std::complex<double>> &a,
  * @param field row-major, size*size elements
  */
 void fft2dInstrumented(Recorder &rec,
-                       std::vector<std::complex<double>> &field,
+                       AlignedVec<std::complex<double>> &field,
                        int size, bool inverse);
 
 } // namespace memo

@@ -11,7 +11,8 @@
 #include <array>
 #include <cmath>
 #include <complex>
-#include <vector>
+
+#include "core/aligned.hh"
 
 #include "workloads/fft.hh"
 #include "workloads/mm_util.hh"
@@ -26,10 +27,10 @@ namespace
 constexpr int fftSize = 64;
 
 /** Load a centred fftSize x fftSize tile as a complex field. */
-std::vector<std::complex<double>>
+AlignedVec<std::complex<double>>
 loadTile(Recorder &rec, const Image &img)
 {
-    std::vector<std::complex<double>> field(
+    AlignedVec<std::complex<double>> field(
         static_cast<size_t>(fftSize) * fftSize);
     int x0 = std::max(0, (img.width() - fftSize) / 2);
     int y0 = std::max(0, (img.height() - fftSize) / 2);

@@ -15,7 +15,8 @@
 
 #include <array>
 #include <cmath>
-#include <vector>
+
+#include "core/aligned.hh"
 
 #include "workloads/mm_util.hh"
 
@@ -50,12 +51,12 @@ runAdm(Recorder &rec)
 {
     constexpr int n = 48;
     constexpr int steps = 8;
-    std::vector<double> c(n * n), next(n * n);
+    AlignedVec<double> c(n * n), next(n * n);
     WorkloadRng rng(42);
     for (auto &v : c)
         v = rng.uniform();
     // Quantized emission inventory: a small alphabet of source rates.
-    std::vector<double> rate(12);
+    AlignedVec<double> rate(12);
     for (auto &r : rate)
         r = 0.5 + 0.25 * static_cast<double>(rng.below(8));
 
@@ -131,7 +132,7 @@ runMdg(Recorder &rec)
     constexpr int particles = 56;
     constexpr int steps = 4;
     WorkloadRng rng(11);
-    std::vector<double> px(particles), py(particles),
+    AlignedVec<double> px(particles), py(particles),
         vx(particles, 0.0), vy(particles, 0.0);
     for (int i = 0; i < particles; i++) {
         px[i] = rng.uniform() * 10.0;
@@ -176,7 +177,7 @@ runTrack(Recorder &rec)
     constexpr int targets = 96;
     constexpr int scans = 110;
     WorkloadRng rng(5);
-    std::vector<double> xhat(targets, 0.0), p(targets, 25.0),
+    AlignedVec<double> xhat(targets, 0.0), p(targets, 25.0),
         rn(targets);
     constexpr double q = 0.5;
     for (auto &r : rn)
@@ -217,7 +218,7 @@ runOcean(Recorder &rec)
     constexpr int n = 40;
     constexpr int sweeps = 10;
     WorkloadRng rng(13);
-    std::vector<double> psi(n * n, 0.0), depth(n * n), tau(n), hx(n);
+    AlignedVec<double> psi(n * n, 0.0), depth(n * n), tau(n), hx(n);
     for (auto &d : depth)
         d = 100.0 + static_cast<double>(rng.below(4000));
     for (int y = 0; y < n; y++)
@@ -261,7 +262,7 @@ runArc2d(Recorder &rec)
     constexpr int n = 40;
     constexpr int steps = 8;
     WorkloadRng rng(17);
-    std::vector<double> rho(n * n), mom(n * n);
+    AlignedVec<double> rho(n * n), mom(n * n);
     for (int i = 0; i < n * n; i++) {
         rho[i] = 1.0 + 0.2 * rng.uniform();
         mom[i] = 0.1 * rng.uniform();
@@ -303,7 +304,7 @@ runFlo52(Recorder &rec)
     constexpr int n = 48;
     constexpr int sweeps = 8;
     WorkloadRng rng(19);
-    std::vector<double> phi(n * n);
+    AlignedVec<double> phi(n * n);
     for (auto &v : phi)
         v = rng.uniform();
     for (int s = 0; s < sweeps; s++) {
@@ -345,8 +346,8 @@ runTrfd(Recorder &rec)
     WorkloadRng rng(23);
     // Symmetry collapses the two-electron integrals onto a small set
     // of distinct magnitudes; the transform reads them unmodified.
-    std::vector<double> integral(orbitals * orbitals);
-    std::vector<double> out(orbitals * orbitals, 0.0);
+    AlignedVec<double> integral(orbitals * orbitals);
+    AlignedVec<double> out(orbitals * orbitals, 0.0);
     for (auto &v : integral)
         v = 0.25 * static_cast<double>(1 + rng.below(4));
 
@@ -386,7 +387,7 @@ runSpec77(Recorder &rec)
     constexpr int modes = 64;
     constexpr int steps = 12;
     WorkloadRng rng(29);
-    std::vector<double> amp(modes), coef(modes);
+    AlignedVec<double> amp(modes), coef(modes);
     for (int m = 0; m < modes; m++) {
         amp[m] = rng.uniform();
         coef[m] = 0.1 + 0.9 * rng.uniform();

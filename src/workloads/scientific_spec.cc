@@ -14,7 +14,8 @@
 #include <array>
 #include <cmath>
 #include <numbers>
-#include <vector>
+
+#include "core/aligned.hh"
 
 #include "workloads/mm_util.hh"
 
@@ -42,7 +43,7 @@ runTomcatv(Recorder &rec)
 {
     constexpr int n = 48;
     constexpr int iters = 5;
-    std::vector<double> xc(n * n), yc(n * n);
+    AlignedVec<double> xc(n * n), yc(n * n);
     for (int y = 0; y < n; y++) {
         for (int x = 0; x < n; x++) {
             xc[y * n + x] = x + 0.3 * std::sin(0.2 * y) +
@@ -92,7 +93,7 @@ runSwim(Recorder &rec)
     constexpr int n = 44;
     constexpr int steps = 8;
     WorkloadRng rng(31);
-    std::vector<double> u(n * n), metric(n * n), depth(n * n);
+    AlignedVec<double> u(n * n), metric(n * n), depth(n * n);
     for (int i = 0; i < n * n; i++) {
         u[i] = rng.uniform();
         metric[i] = 0.5 + rng.uniform();
@@ -131,7 +132,7 @@ runSu2cor(Recorder &rec)
     constexpr int n = 32;
     constexpr int sweeps = 6;
     WorkloadRng rng(37);
-    std::vector<int64_t> spin(n * n);
+    AlignedVec<int64_t> spin(n * n);
     for (auto &s : spin)
         s = static_cast<int64_t>(rng.below(4)) + 1;
     double corr = 0.0;
@@ -167,7 +168,7 @@ runHydro2d(Recorder &rec)
     constexpr int steps = 10;
     // Piecewise-constant thermodynamic state (two phases plus a
     // membrane); the velocity field stays continuous.
-    std::vector<double> rho(n * n), pr(n * n), vel(n * n);
+    AlignedVec<double> rho(n * n), pr(n * n), vel(n * n);
     for (int y = 0; y < n; y++) {
         for (int x = 0; x < n; x++) {
             bool left = x < n / 2;
@@ -216,7 +217,7 @@ runMgrid(Recorder &rec)
     constexpr int n = 18;
     constexpr int cycles = 3;
     WorkloadRng rng(41);
-    std::vector<double> v(n * n * n);
+    AlignedVec<double> v(n * n * n);
     for (auto &x : v)
         x = rng.uniform() * 2.0 - 1.0;
     for (int c = 0; c < cycles; c++) {
@@ -252,7 +253,7 @@ runApplu(Recorder &rec)
     constexpr int n = 24;
     constexpr int sweeps = 6;
     WorkloadRng rng(43);
-    std::vector<double> field(n * n * 5);
+    AlignedVec<double> field(n * n * 5);
     std::array<double, 25> jac;
     for (auto &x : field)
         x = rng.uniform();
@@ -302,7 +303,7 @@ runTurb3d(Recorder &rec)
     constexpr int modes = 40;
     constexpr int steps = 8;
     WorkloadRng rng(47);
-    std::vector<double> ur(modes * modes), ui(modes * modes),
+    AlignedVec<double> ur(modes * modes), ui(modes * modes),
         k2(modes * modes);
     for (int ky = 0; ky < modes; ky++) {
         for (int kx = 0; kx < modes; kx++) {
@@ -346,7 +347,7 @@ runApsi(Recorder &rec)
     constexpr int levels = 32;
     constexpr int steps = 6;
     WorkloadRng rng(53);
-    std::vector<double> temp(columns * levels);
+    AlignedVec<double> temp(columns * levels);
     std::array<double, 16> coeff;
     for (auto &v : temp)
         v = 250.0 + 50.0 * rng.uniform();
@@ -388,8 +389,8 @@ runFpppp(Recorder &rec)
     WorkloadRng rng(59);
     // Contracted Gaussian products collapse onto few magnitudes; the
     // overlap table is read-only during a pass.
-    std::vector<double> s(basis * basis);
-    std::vector<double> fock(basis * basis, 0.0);
+    AlignedVec<double> s(basis * basis);
+    AlignedVec<double> fock(basis * basis, 0.0);
     for (auto &v : s)
         v = 0.0625 * static_cast<double>(1 + rng.below(12));
     for (int p = 0; p < passes; p++) {
@@ -424,8 +425,8 @@ runWave5(Recorder &rec)
     constexpr int steps = 5;
     constexpr int grid = 64;
     WorkloadRng rng(61);
-    std::vector<double> px(particles), pv(particles);
-    std::vector<double> ef(grid);
+    AlignedVec<double> px(particles), pv(particles);
+    AlignedVec<double> ef(grid);
     for (int i = 0; i < particles; i++) {
         px[i] = rng.uniform() * grid;
         pv[i] = rng.uniform() - 0.5;

@@ -221,7 +221,7 @@ TEST(KernelSemantics, FftRoundTripIsIdentity)
 {
     Trace trace;
     Recorder rec(trace);
-    std::vector<std::complex<double>> field(64 * 64);
+    memo::AlignedVec<std::complex<double>> field(64 * 64);
     uint64_t z = 17;
     for (auto &c : field) {
         z = z * 6364136223846793005ULL + 1;
@@ -241,7 +241,7 @@ TEST(KernelSemantics, FftParseval)
     // Energy is conserved (up to the 1/N inverse convention).
     Trace trace;
     Recorder rec(trace);
-    std::vector<std::complex<double>> field(64);
+    memo::AlignedVec<std::complex<double>> field(64);
     for (int i = 0; i < 64; i++)
         field[static_cast<size_t>(i)] = {std::sin(0.3 * i), 0.0};
     double time_energy = 0.0;

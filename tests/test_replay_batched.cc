@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Differential harness for the batched replay hot loop: replayMemo()
+ * (blocked columnar passes + MemoTable::probeBlock) must be bit-exact
+ * against replayMemoReference() (the retained scalar oracle) — same
+ * statistics, same entry states, same subsequent behaviour — for
+ * every table mode, every Khoros kernel trace, odd trace lengths
+ * around the block size, and adversarial FP operands. The batch-probe
+ * APIs of the other table variants (shared, tiered, reuse buffer,
+ * reciprocal cache) are pinned against their scalar lookup/update
+ * pairs the same way.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "arith/fp.hh"
+#include "check/fuzz.hh"
+#include "core/bank.hh"
+#include "core/recip_cache.hh"
+#include "core/reuse_buffer.hh"
+#include "core/shared_table.hh"
+#include "core/tiered_table.hh"
+#include "img/generate.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace memo
+{
+namespace
+{
+
+void
+expectStatsEq(const MemoStats &a, const MemoStats &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.lookups, b.lookups) << what << ": lookups";
+    EXPECT_EQ(a.hits, b.hits) << what << ": hits";
+    EXPECT_EQ(a.trivialHits, b.trivialHits) << what << ": trivialHits";
+    EXPECT_EQ(a.misses, b.misses) << what << ": misses";
+    EXPECT_EQ(a.insertions, b.insertions) << what << ": insertions";
+    EXPECT_EQ(a.evictions, b.evictions) << what << ": evictions";
+    EXPECT_EQ(a.trivialBypassed, b.trivialBypassed)
+        << what << ": trivialBypassed";
+    EXPECT_EQ(a.parityMisses, b.parityMisses)
+        << what << ": parityMisses";
+}
+
+constexpr Operation bank_ops[] = {
+    Operation::IntMul, Operation::FpMul,  Operation::FpDiv,
+    Operation::FpSqrt, Operation::FpLog,  Operation::FpSin,
+    Operation::FpCos,  Operation::FpExp,
+};
+
+/**
+ * Replay @p trace through the batched path and the scalar oracle on
+ * identically configured banks and require equal statistics and entry
+ * counts; then replay it once more on both (scalar), so a divergence
+ * in *stored state* (not just counters) shows up as diverging hit
+ * counts on the second pass.
+ */
+void
+expectReplayEquivalent(const Trace &trace, const MemoConfig &cfg,
+                       const std::string &what)
+{
+    MemoBank batched = MemoBank::standard(cfg);
+    MemoBank scalar = MemoBank::standard(cfg);
+    replayMemo(trace, batched);
+    replayMemoReference(trace, scalar);
+    for (Operation op : bank_ops) {
+        const MemoTable *tb = batched.table(op);
+        const MemoTable *ts = scalar.table(op);
+        ASSERT_EQ(tb == nullptr, ts == nullptr);
+        if (!tb)
+            continue;
+        expectStatsEq(tb->stats(), ts->stats(),
+                      what + " pass1 " +
+                          std::string(operationName(op)));
+        EXPECT_EQ(tb->validEntries(), ts->validEntries())
+            << what << " " << operationName(op) << ": validEntries";
+    }
+    // Second pass exercises the state the first pass left behind.
+    replayMemoReference(trace, batched);
+    replayMemoReference(trace, scalar);
+    for (Operation op : bank_ops) {
+        const MemoTable *tb = batched.table(op);
+        if (!tb)
+            continue;
+        expectStatsEq(tb->stats(), scalar.table(op)->stats(),
+                      what + " pass2 " +
+                          std::string(operationName(op)));
+    }
+}
+
+/** The table-mode matrix the differential runs under. */
+std::vector<std::pair<std::string, MemoConfig>>
+configMatrix()
+{
+    std::vector<std::pair<std::string, MemoConfig>> cfgs;
+    MemoConfig base; // 32x4 LRU FullValue NonTrivialOnly
+    cfgs.emplace_back("default", base);
+
+    MemoConfig one = base;
+    one.entries = 1;
+    one.ways = 1;
+    cfgs.emplace_back("1x1", one);
+
+    MemoConfig mant = base;
+    mant.tagMode = TagMode::MantissaOnly;
+    cfgs.emplace_back("mantissa", mant);
+
+    MemoConfig cache_all = base;
+    cache_all.trivialMode = TrivialMode::CacheAll;
+    cfgs.emplace_back("cache-all", cache_all);
+
+    MemoConfig integrated = base;
+    integrated.trivialMode = TrivialMode::Integrated;
+    integrated.extendedTrivial = true;
+    cfgs.emplace_back("integrated-ext", integrated);
+
+    MemoConfig rnd = base;
+    rnd.replacement = Replacement::Random;
+    cfgs.emplace_back("random-repl", rnd);
+
+    MemoConfig fifo = base;
+    fifo.replacement = Replacement::Fifo;
+    fifo.parityProtected = true;
+    cfgs.emplace_back("fifo-parity", fifo);
+
+    MemoConfig inf = base;
+    inf.infinite = true;
+    cfgs.emplace_back("infinite", inf);
+
+    MemoConfig inf_mant = mant;
+    inf_mant.infinite = true;
+    cfgs.emplace_back("infinite-mantissa", inf_mant);
+
+    MemoConfig add = base;
+    add.hashScheme = HashScheme::PaperXor;
+    cfgs.emplace_back("paper-xor", add);
+    return cfgs;
+}
+
+/** Adversarial double bits: edge values plus heavy pooled reuse. */
+uint64_t
+edgeDoubleBits(check::FuzzRng &rng, std::vector<uint64_t> &pool)
+{
+    if (!pool.empty() && rng.chance(2, 5))
+        return pool[rng.below(pool.size())];
+    uint64_t v;
+    switch (rng.below(8)) {
+      case 0: { // signed zeros / trivial constants
+        static constexpr double k[] = {0.0, -0.0, 1.0, -1.0,
+                                       2.0, -2.0, 0.5, 4.0};
+        v = fpBits(k[rng.below(8)]);
+        break;
+      }
+      case 1: // NaN with payload (quiet and signalling)
+        v = (rng.chance(1, 2) ? uint64_t{1} << 63 : 0) |
+            (0x7ffULL << 52) | ((rng.next() & ((1ULL << 52) - 1)) | 1);
+        break;
+      case 2: // infinities
+        v = (rng.chance(1, 2) ? uint64_t{1} << 63 : 0) |
+            (0x7ffULL << 52);
+        break;
+      case 3: // denormals
+        v = (rng.chance(1, 2) ? uint64_t{1} << 63 : 0) |
+            ((rng.next() & ((1ULL << 52) - 1)) | 1);
+        break;
+      case 4: { // extreme exponents (mantissa-mode delta limits)
+        uint64_t e = rng.chance(1, 2) ? 1 + rng.below(40)
+                                      : 2006 + rng.below(40);
+        v = (e << 52) | (rng.next() & ((1ULL << 52) - 1));
+        break;
+      }
+      case 5: // small integers (kernel bread and butter)
+        v = fpBits(static_cast<double>(rng.below(64)));
+        break;
+      default: { // mid-range normals
+        uint64_t e = 512 + rng.below(1024);
+        v = (rng.chance(1, 2) ? uint64_t{1} << 63 : 0) | (e << 52) |
+            (rng.next() & ((1ULL << 52) - 1));
+        break;
+      }
+    }
+    if (pool.size() < 48)
+        pool.push_back(v);
+    return v;
+}
+
+/**
+ * A synthetic trace with exactly @p ops memoizable records (plus
+ * interleaved non-memoizable noise), drawn from the edge-value
+ * generator.
+ */
+Trace
+syntheticTrace(size_t ops, uint64_t seed)
+{
+    static constexpr InstClass memo_classes[] = {
+        InstClass::IntMul, InstClass::FpMul, InstClass::FpMul,
+        InstClass::FpDiv,  InstClass::FpDiv, InstClass::FpSqrt,
+        InstClass::FpLog,  InstClass::FpSin, InstClass::FpCos,
+        InstClass::FpExp};
+    check::FuzzRng rng(seed);
+    std::vector<uint64_t> pool_a, pool_b;
+    Trace trace;
+    for (size_t i = 0; i < ops; i++) {
+        // Interleave non-operand noise so the operand columns and the
+        // record index diverge, as in real traces.
+        if (rng.chance(1, 3)) {
+            Instruction noise;
+            noise.cls = rng.chance(1, 2) ? InstClass::IntAlu
+                                         : InstClass::Branch;
+            trace.push(noise);
+        }
+        Instruction inst;
+        inst.cls = memo_classes[rng.below(std::size(memo_classes))];
+        auto op = memoOperation(inst.cls);
+        if (inst.cls == InstClass::IntMul) {
+            inst.a = rng.below(1 << 12);
+            inst.b = rng.chance(1, 4) ? inst.a : rng.below(1 << 12);
+        } else {
+            inst.a = edgeDoubleBits(rng, pool_a);
+            inst.b = isUnary(*op)
+                         ? 0
+                         : edgeDoubleBits(rng, rng.chance(1, 3)
+                                                   ? pool_a
+                                                   : pool_b);
+        }
+        inst.result = check::computeResult(*op, inst.a, inst.b);
+        trace.push(inst);
+    }
+    return trace;
+}
+
+TEST(ReplayBatched, MatchesReferenceOnAllKernelTraces)
+{
+    // All Khoros kernels, one representative image, every table mode.
+    const auto &named = standardImages().front();
+    auto cfgs = configMatrix();
+    for (const MmKernel &k : mmKernels()) {
+        auto trace = cachedMmKernelTrace(k, named, 48);
+        for (const auto &[cname, cfg] : cfgs) {
+            expectReplayEquivalent(*trace, cfg,
+                                   k.name + "/" + cname);
+        }
+    }
+}
+
+TEST(ReplayBatched, MatchesReferenceAtBlockBoundaries)
+{
+    const std::array<size_t, 5> lens = {
+        0, 1, kReplayBlock - 1, kReplayBlock, kReplayBlock + 1};
+    auto cfgs = configMatrix();
+    uint64_t seed = 7;
+    for (size_t len : lens) {
+        Trace trace = syntheticTrace(len, seed++);
+        for (const auto &[cname, cfg] : cfgs) {
+            expectReplayEquivalent(trace, cfg,
+                                   "len" + std::to_string(len) + "/" +
+                                       cname);
+        }
+    }
+}
+
+TEST(ReplayBatched, MatchesReferenceOnEdgeOperandStreams)
+{
+    // Longer adversarial streams: several seeds, two block's worth of
+    // NaN/denormal/signed-zero-rich operands.
+    auto cfgs = configMatrix();
+    for (uint64_t seed = 100; seed < 104; seed++) {
+        Trace trace = syntheticTrace(2 * kReplayBlock + 17, seed);
+        for (const auto &[cname, cfg] : cfgs) {
+            expectReplayEquivalent(trace, cfg,
+                                   "seed" + std::to_string(seed) +
+                                       "/" + cname);
+        }
+    }
+}
+
+TEST(ReplayBatched, EmptyAndTablelessBanksAreNoOps)
+{
+    Trace trace = syntheticTrace(64, 3);
+    MemoBank empty_batched, empty_scalar; // no tables attached
+    replayMemo(trace, empty_batched);
+    replayMemoReference(trace, empty_scalar);
+    for (Operation op : bank_ops) {
+        EXPECT_EQ(empty_batched.table(op), nullptr);
+        EXPECT_EQ(empty_scalar.table(op), nullptr);
+    }
+
+    Trace none; // empty trace
+    MemoBank bank = MemoBank::standard(MemoConfig{});
+    replayMemo(none, bank);
+    EXPECT_EQ(bank.table(Operation::FpMul)->stats().lookups, 0u);
+}
+
+/** Access streams for the non-bank table variants. */
+struct VariantStream
+{
+    std::vector<uint64_t> pc, cycle, a, b, r;
+    std::vector<unsigned> cu;
+};
+
+VariantStream
+variantStream(Operation op, size_t n, uint64_t seed)
+{
+    check::FuzzRng rng(seed);
+    std::vector<uint64_t> pool_a, pool_b;
+    VariantStream s;
+    uint64_t cyc = 0;
+    for (size_t i = 0; i < n; i++) {
+        uint64_t a = edgeDoubleBits(rng, pool_a);
+        uint64_t b = edgeDoubleBits(
+            rng, rng.chance(1, 3) ? pool_a : pool_b);
+        s.a.push_back(a);
+        s.b.push_back(b);
+        s.r.push_back(check::computeResult(op, a, b));
+        s.pc.push_back(rng.below(24) * 4);
+        s.cu.push_back(static_cast<unsigned>(rng.below(3)));
+        cyc += rng.chance(1, 3) ? 0 : 1;
+        s.cycle.push_back(cyc);
+    }
+    return s;
+}
+
+TEST(ReplayBatched, SharedTableProbeBlockMatchesScalar)
+{
+    for (size_t n : {size_t{0}, size_t{1}, size_t{257}}) {
+        VariantStream s = variantStream(Operation::FpMul, n, 11 + n);
+        MemoConfig cfg;
+        SharedMemoTable batched(Operation::FpMul, cfg, 2);
+        SharedMemoTable scalar(Operation::FpMul, cfg, 2);
+        batched.probeBlock(s.cu.data(), s.cycle.data(), s.a.data(),
+                           s.b.data(), s.r.data(), n);
+        for (size_t i = 0; i < n; i++) {
+            if (!scalar.lookup(s.cu[i], s.cycle[i], s.a[i], s.b[i]))
+                scalar.update(s.cu[i], s.a[i], s.b[i], s.r[i]);
+        }
+        expectStatsEq(batched.stats(), scalar.stats(),
+                      "shared n=" + std::to_string(n));
+        EXPECT_EQ(batched.crossUnitHits(), scalar.crossUnitHits());
+        EXPECT_EQ(batched.portConflicts(), scalar.portConflicts());
+    }
+}
+
+TEST(ReplayBatched, TieredTableProbeBlockMatchesScalar)
+{
+    for (size_t n : {size_t{0}, size_t{1}, size_t{257}}) {
+        VariantStream s = variantStream(Operation::FpDiv, n, 23 + n);
+        MemoConfig l1;
+        l1.entries = 8;
+        l1.ways = 2;
+        MemoConfig l2;
+        l2.entries = 64;
+        l2.ways = 4;
+        TieredMemoTable batched(Operation::FpDiv, l1, l2);
+        TieredMemoTable scalar(Operation::FpDiv, l1, l2);
+        batched.probeBlock(s.a.data(), s.b.data(), s.r.data(), n);
+        for (size_t i = 0; i < n; i++) {
+            if (!scalar.lookup(s.a[i], s.b[i]))
+                scalar.update(s.a[i], s.b[i], s.r[i]);
+        }
+        expectStatsEq(batched.l1Stats(), scalar.l1Stats(),
+                      "tiered L1 n=" + std::to_string(n));
+        expectStatsEq(batched.l2Stats(), scalar.l2Stats(),
+                      "tiered L2 n=" + std::to_string(n));
+        EXPECT_EQ(batched.promotions(), scalar.promotions());
+    }
+}
+
+TEST(ReplayBatched, ReuseBufferProbeBlockMatchesScalar)
+{
+    for (size_t n : {size_t{0}, size_t{1}, size_t{257}}) {
+        VariantStream s = variantStream(Operation::FpMul, n, 37 + n);
+        ReuseBuffer batched(32, 4);
+        ReuseBuffer scalar(32, 4);
+        batched.probeBlock(s.pc.data(), s.a.data(), s.b.data(),
+                           s.r.data(), n);
+        for (size_t i = 0; i < n; i++) {
+            if (!scalar.lookup(s.pc[i], s.a[i], s.b[i]))
+                scalar.update(s.pc[i], s.a[i], s.b[i], s.r[i]);
+        }
+        expectStatsEq(batched.stats(), scalar.stats(),
+                      "reuse-buffer n=" + std::to_string(n));
+    }
+}
+
+TEST(ReplayBatched, RecipCacheProbeBlockMatchesScalar)
+{
+    for (size_t n : {size_t{0}, size_t{1}, size_t{257}}) {
+        VariantStream s = variantStream(Operation::FpDiv, n, 41 + n);
+        std::vector<uint64_t> recips;
+        for (size_t i = 0; i < n; i++)
+            recips.push_back(fpBits(1.0 / fpFromBits(s.b[i])));
+        ReciprocalCache batched(16, 2);
+        ReciprocalCache scalar(16, 2);
+        batched.probeBlock(s.b.data(), recips.data(), n);
+        for (size_t i = 0; i < n; i++) {
+            if (!scalar.lookup(s.b[i]))
+                scalar.update(s.b[i], recips[i]);
+        }
+        expectStatsEq(batched.stats(), scalar.stats(),
+                      "recip-cache n=" + std::to_string(n));
+    }
+}
+
+} // anonymous namespace
+} // namespace memo

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "arith/fp.hh"
+#include "core/aligned.hh"
 #include "trace/recorder.hh"
 #include "trace/traced.hh"
 
@@ -70,20 +71,23 @@ TEST(Recorder, LoadStoreRecordAddresses)
 {
     Trace trace;
     Recorder rec(trace);
-    alignas(64) double data[16] = {};
-    data[3] = 7.5;
+    alignas(kRecordedLineBytes) double data[16] = {};
+    data[2] = 7.5;
 
-    double v = rec.load(data[3]);
+    double v = rec.load(data[2]);
     EXPECT_EQ(v, 7.5);
-    rec.store(data[4], 9.0);
-    EXPECT_EQ(data[4], 9.0);
+    rec.store(data[3], 9.0);
+    EXPECT_EQ(data[3], 9.0);
 
     ASSERT_EQ(trace.size(), 2u);
     EXPECT_EQ(trace[0].cls, InstClass::Load);
     EXPECT_EQ(trace[1].cls, InstClass::Store);
-    // Same cache line (adjacent doubles): remapped line must agree.
-    EXPECT_EQ(trace[0].addr >> 6,
-              trace[1].addr >> 6);
+    // data[2] and data[3] share one 32-byte modeled line (bytes
+    // 16..31 of the aligned buffer): remapped line must agree, and
+    // the intra-line offsets must survive the remap.
+    EXPECT_EQ(trace[0].addr >> 5, trace[1].addr >> 5);
+    EXPECT_EQ(trace[0].addr & 31u, 16u);
+    EXPECT_EQ(trace[1].addr & 31u, 24u);
 }
 
 TEST(Recorder, AddressRemappingIsFirstTouchOrdered)
@@ -91,18 +95,16 @@ TEST(Recorder, AddressRemappingIsFirstTouchOrdered)
     // The first line touched maps to line 0, the second to line 1 ...
     Trace trace;
     Recorder rec(trace);
-    std::vector<double> data(64, 0.0); // several cache lines
+    AlignedVec<double> data(64, 0.0); // several 32-byte cache lines
 
     rec.load(data[0]);  // line A
     rec.load(data[32]); // line B (256 bytes away)
     rec.load(data[0]);  // line A again
 
-    auto addr = [&](int i) { return trace[i].addr >> 6; };
-    EXPECT_EQ(addr(0), 0u);
-    EXPECT_EQ(addr(1), static_cast<uint64_t>(
-        (reinterpret_cast<uintptr_t>(&data[32]) >> 6) !=
-        (reinterpret_cast<uintptr_t>(&data[0]) >> 6) ? 1u : 0u));
-    EXPECT_EQ(addr(2), addr(0));
+    auto line = [&](int i) { return trace[i].addr >> 5; };
+    EXPECT_EQ(line(0), 0u);
+    EXPECT_EQ(line(1), 1u);
+    EXPECT_EQ(line(2), line(0));
 }
 
 TEST(Recorder, PcStablePerCallSite)

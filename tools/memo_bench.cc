@@ -73,6 +73,10 @@ struct Options
     bool noAppend = false;
     double injectSlowdown = 0.0;   //!< 0 = off
     prof::GateOptions gate;
+    /** --assert-ratio: require median(num)/median(den) >= min. */
+    std::string ratioNum;
+    std::string ratioDen;
+    double ratioMin = 0.0;
 };
 
 /** Shared state a scenario body can read; set up by the driver. */
@@ -118,6 +122,32 @@ scenarios()
 {
     static const std::vector<Scenario> all = { // NOLINT(memo-CONC-003)
         {"trace_replay",
+         "batched memo-table replay of one cached kernel trace", true,
+         [](BenchContext &) {
+             auto trace = cachedMmKernelTrace(mmKernelByName("vcost"),
+                                              imageByName("chroms"), 64);
+             return [trace](BenchContext &ctx) {
+                 MemoBank bank = MemoBank::standard(MemoConfig{});
+                 hookTracer(bank, ctx.tracer);
+                 replayMemo(*trace, bank);
+                 ctx.extra["items"] =
+                     static_cast<double>(trace->size());
+             };
+         }},
+        {"trace_replay_reference",
+         "scalar reference replay of the same trace (the batched "
+         "path's oracle)", false,
+         [](BenchContext &) {
+             auto trace = cachedMmKernelTrace(mmKernelByName("vcost"),
+                                              imageByName("chroms"), 64);
+             return [trace](BenchContext &ctx) {
+                 MemoBank bank = MemoBank::standard(MemoConfig{});
+                 replayMemoReference(*trace, bank);
+                 ctx.extra["items"] =
+                     static_cast<double>(trace->size());
+             };
+         }},
+        {"cpu_replay",
          "memoized CpuModel replay of one cached kernel trace", true,
          [](BenchContext &) {
              auto trace = cachedMmKernelTrace(mmKernelByName("vcost"),
@@ -235,6 +265,9 @@ usage(std::ostream &os)
           "                         on a regression\n"
           "  --inject-slowdown X    multiply samples by X (gate\n"
           "                         self-test; implies no append)\n"
+          "  --assert-ratio A B R   also run scenarios A and B and\n"
+          "                         fail unless median(A)/median(B)\n"
+          "                         >= R (throughput-ratio gate)\n"
           "  --no-append            measure/gate without writing\n"
           "  --rel-slack F          gate band fraction (default 0.30)\n"
           "  --mad-k F              gate MAD multiple (default 5.0)\n"
@@ -272,6 +305,14 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.check = true;
         else if (a == "--inject-slowdown")
             opt.injectSlowdown = std::atof(need(i));
+        else if (a == "--assert-ratio") {
+            opt.ratioNum = need(i);
+            opt.ratioDen = need(i);
+            opt.ratioMin = std::atof(need(i));
+            if (opt.ratioMin <= 0)
+                throw std::runtime_error(
+                    "--assert-ratio minimum must be positive");
+        }
         else if (a == "--no-append")
             opt.noAppend = true;
         else if (a == "--rel-slack")
@@ -385,10 +426,17 @@ run(const Options &opt)
 
     std::vector<prof::BenchRecord> current;
     for (const auto &sc : scenarios()) {
-        if (!opt.only.empty() && sc.name != opt.only)
-            continue;
-        if (opt.only.empty() && opt.suite == "quick" && !sc.quick)
-            continue;
+        // Scenarios named by --assert-ratio always run, even when the
+        // suite or --scenario filter would exclude them.
+        bool forRatio = !opt.ratioNum.empty() &&
+                        (sc.name == opt.ratioNum ||
+                         sc.name == opt.ratioDen);
+        if (!forRatio) {
+            if (!opt.only.empty() && sc.name != opt.only)
+                continue;
+            if (opt.only.empty() && opt.suite == "quick" && !sc.quick)
+                continue;
+        }
         std::cout << "[memo-bench] " << sc.name << " (" << opt.reps
                   << " reps, " << opt.warmup << " warmup)...\n";
         prof::BenchRecord r = runScenario(sc, opt,
@@ -447,8 +495,35 @@ run(const Options &opt)
                   << tracer->recorded() << " table events)\n";
     }
 
+    // Throughput-ratio gate: the numerator scenario's median wall
+    // time must be at least ratioMin times the denominator's.
+    bool ratioFailed = false;
+    if (!opt.ratioNum.empty()) {
+        auto medianOf = [&](const std::string &name) {
+            for (const auto &r : current)
+                if (r.scenario == name)
+                    return r.medianSec;
+            throw std::runtime_error("--assert-ratio: scenario " +
+                                     name + " not measured");
+        };
+        double num = medianOf(opt.ratioNum);
+        double den = medianOf(opt.ratioDen);
+        double ratio = den > 0 ? num / den : 0.0;
+        char line[200];
+        std::snprintf(line, sizeof line,
+                      "\nratio %s / %s = %.2fx (required >= %.2fx)\n",
+                      opt.ratioNum.c_str(), opt.ratioDen.c_str(), ratio,
+                      opt.ratioMin);
+        std::cout << line;
+        ratioFailed = ratio < opt.ratioMin;
+    }
+
     if (opt.check && regressed) {
         std::cout << "\nFAIL: performance regression detected\n";
+        return 1;
+    }
+    if (ratioFailed) {
+        std::cout << "FAIL: throughput ratio below required minimum\n";
         return 1;
     }
     if (opt.check)

@@ -6,8 +6,9 @@
  *   memo_fuzz --seed 1 --iters 10000 --mutation
  *
  * Exit status 0 means the harness behaved as expected: no invariant
- * violations in a normal campaign, or (with --mutation) the injected
- * tag-comparison bug was caught. Any other outcome exits 1, printing a
+ * violations in a normal campaign, or (with --mutation) both injected
+ * bugs — the tag-comparison bug and the batched-replay block-boundary
+ * off-by-one — were caught. Any other outcome exits 1, printing a
  * shrunk counterexample and a one-line repro.
  */
 
@@ -35,7 +36,8 @@ usage(const char *argv0)
                  "  --iters N    fuzz cases to run (default 1000)\n"
                  "  --stream L   accesses per case (default 256)\n"
                  "  --mutation   self-test: inject a tag-comparison bug\n"
-                 "               and require the harness to catch it\n"
+                 "               and a block-boundary off-by-one and\n"
+                 "               require the harness to catch both\n"
                  "  --verbose    progress output every 1000 cases\n"
                  "  --progress   stderr heartbeat (rate/ETA); stdout\n"
                  "               stays byte-identical\n",
@@ -101,11 +103,12 @@ main(int argc, char **argv)
     if (mutation) {
         bool caught = memo::check::mutationSelfTest(opts, &std::cout);
         if (!caught) {
-            std::cout << "FAIL: the differential harness did not "
-                         "detect the injected bug\n";
+            std::cout << "FAIL: a differential harness did not "
+                         "detect its injected bug\n";
             return 1;
         }
-        std::cout << "ok: injected tag-comparison bug detected\n";
+        std::cout << "ok: injected tag-comparison and block-boundary "
+                     "bugs detected\n";
         return 0;
     }
 
