@@ -139,6 +139,28 @@ phaseRecord(const std::string &scenario, unsigned jobs, double sec)
     return r;
 }
 
+/**
+ * Trace-cache memory trajectory, stamped on every sweep record (not
+ * just trace generation) so resident/spilled bytes are trackable per
+ * phase across PRs. The disk-tier counters are zero unless a spill
+ * directory is configured (MEMO_TRACE_SPILL_DIR or
+ * --trace-spill-dir on the tools).
+ */
+void
+stampCacheExtras(prof::BenchRecord &r)
+{
+    const auto &tc = exec::TraceCache::instance();
+    constexpr double mb = 1024.0 * 1024.0;
+    r.extra["traceCacheResidentMb"] =
+        static_cast<double>(tc.residentBytes()) / mb;
+    r.extra["traceCacheSpilledMb"] =
+        static_cast<double>(tc.spilledBytes()) / mb;
+    r.extra["traceCacheSharedMb"] =
+        static_cast<double>(tc.sharedBytes()) / mb;
+    r.extra["traceCacheSpills"] = static_cast<double>(tc.spills());
+    r.extra["traceCacheAdmits"] = static_cast<double>(tc.admits());
+}
+
 } // anonymous namespace
 
 int
@@ -186,8 +208,6 @@ main(int argc, char **argv)
     double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
     double sweep_points =
         static_cast<double>(kernels.size() * cfgs.size());
-    double resident_mb = static_cast<double>(
-        exec::TraceCache::instance().residentBytes() / (1024 * 1024));
 
     TextTable t({"metric", "value"});
     t.addRow({"sweep points",
@@ -204,17 +224,19 @@ main(int argc, char **argv)
 
     prof::BenchRecord gen = phaseRecord("sweep_trace_gen", jobs, gen_s);
     gen.extra["sweepPoints"] = sweep_points;
-    gen.extra["traceCacheResidentMb"] = resident_mb;
+    stampCacheExtras(gen);
 
     prof::BenchRecord ser = phaseRecord("sweep_serial", 1, serial_s);
     ser.extra["sweepPoints"] = sweep_points;
     ser.extra["deterministic"] = det ? 1.0 : 0.0;
+    stampCacheExtras(ser);
 
     prof::BenchRecord par = phaseRecord("sweep_parallel", jobs,
                                         parallel_s);
     par.extra["sweepPoints"] = sweep_points;
     par.extra["speedup"] = speedup;
     par.extra["deterministic"] = det ? 1.0 : 0.0;
+    stampCacheExtras(par);
     // Speedup is bounded by the host: record the thread budget so a
     // low figure on a small machine isn't read as a regression.
     par.extra["hardwareThreads"] =

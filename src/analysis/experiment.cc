@@ -184,6 +184,62 @@ replayMemoReference(const Trace &trace, MemoBank &bank)
     foldReplayStats(bank, before, trace.size());
 }
 
+void
+replayMemoStreamed(const SpillStore &store, const std::string &key,
+                   MemoBank &bank)
+{
+    auto before = snapshotStats(bank);
+
+    MemoTable *tables[numInstClasses] = {};
+    for (unsigned c = 0; c < numInstClasses; c++)
+        if (auto op = memoOperation(static_cast<InstClass>(c)))
+            tables[c] = bank.table(*op);
+
+    // One decoded operand chunk in flight at a time: cls/a/b/r hold
+    // the current chunk's columns, part[] its stable per-class
+    // partition. Chunks arrive in trace order and partitioning keeps
+    // relative order, so each table sees exactly the access sequence
+    // replayMemo() feeds it from the in-memory columns; only the
+    // probeBlock call boundaries differ, which the batch-probe
+    // contract (probeBlock(n) == n scalar lookup/update calls) makes
+    // invisible.
+    SpillStore::Reader reader = store.open(key);
+    std::vector<uint64_t> cls, a, b, r;
+    std::array<TraceStore::ClassColumns, numInstClasses> part;
+    for (size_t chunk = 0; chunk < reader.opChunkCount(); chunk++) {
+        reader.readOpChunk(chunk, cls, a, b, r);
+        for (auto &p : part) {
+            p.a.clear();
+            p.b.clear();
+            p.r.clear();
+        }
+        for (size_t i = 0; i < cls.size(); i++) {
+            uint64_t c = cls[i];
+            if (c >= numInstClasses)
+                throw SpillError("opCls: value " + std::to_string(c) +
+                                 " is not an InstClass");
+            if (!tables[c])
+                continue;
+            part[c].a.push_back(a[i]);
+            part[c].b.push_back(b[i]);
+            part[c].r.push_back(r[i]);
+        }
+        for (unsigned c = 0; c < numInstClasses; c++) {
+            const TraceStore::ClassColumns &col = part[c];
+            const size_t n = col.a.size();
+            if (!n)
+                continue;
+            for (size_t base = 0; base < n; base += kReplayBlock)
+                tables[c]->probeBlock(
+                    col.a.data() + base, col.b.data() + base,
+                    col.r.data() + base,
+                    std::min(n - base, kReplayBlock));
+        }
+    }
+
+    foldReplayStats(bank, before, reader.records());
+}
+
 namespace
 {
 

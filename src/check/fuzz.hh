@@ -9,7 +9,10 @@
  * replays it through the differential checkers of differ.hh; one case
  * kind additionally replays a random instruction trace through
  * memoized-vs-baseline CpuModel runs and checks cycle/stats
- * conservation. Everything is deterministic: the same --seed/--iters
+ * conservation, and another round-trips a random trace through the
+ * spill tier's chunk codec (trace/chunk_codec.hh) — decode must be
+ * bit-exact and any single-bit corruption must be rejected with
+ * SpillError. Everything is deterministic: the same --seed/--iters
  * reproduce the same verdicts on any platform, and a failing stream is
  * shrunk (greedy chunk removal) before being reported as a one-line
  * repro.

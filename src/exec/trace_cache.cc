@@ -26,6 +26,10 @@ defaultBudget()
 TraceCache::TraceCache(size_t budget_bytes)
     : budget(budget_bytes ? budget_bytes : defaultBudget())
 {
+    if (const char *env = std::getenv("MEMO_TRACE_SPILL_DIR")) {
+        if (*env)
+            spill_ = std::make_shared<SpillStore>(env);
+    }
 }
 
 TraceCache &
@@ -37,10 +41,42 @@ TraceCache::instance()
     return cache;
 }
 
+void
+TraceCache::setSpillDir(const std::string &dir)
+{
+    std::shared_ptr<SpillStore> store;
+    if (!dir.empty())
+        store = std::make_shared<SpillStore>(dir);
+    std::lock_guard<std::mutex> lk(m);
+    spill_ = std::move(store);
+}
+
+std::string
+TraceCache::spillDir() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return spill_ ? spill_->root() : std::string();
+}
+
+void
+TraceCache::setBudgetBytes(size_t budget_bytes)
+{
+    std::lock_guard<std::mutex> lk(m);
+    budget = budget_bytes ? budget_bytes : defaultBudget();
+}
+
+size_t
+TraceCache::budgetBytes() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return budget;
+}
+
 std::shared_ptr<const Trace>
 TraceCache::get(const TraceKey &key, const Generator &gen)
 {
     std::shared_ptr<Slot> slot;
+    std::shared_ptr<SpillStore> spill;
     {
         std::lock_guard<std::mutex> lk(m);
         auto it = map.find(key);
@@ -51,30 +87,61 @@ TraceCache::get(const TraceKey &key, const Generator &gen)
             map[key] = lru.begin();
         }
         slot = lru.front().second;
+        spill = spill_;
     }
 
     // Generation runs outside the map lock: distinct keys generate
     // concurrently, while a second requester of the same key blocks
     // here until the first finishes.
-    std::lock_guard<std::mutex> sl(slot->m);
-    if (!slot->trace) {
-        slot->trace = std::make_shared<const Trace>(gen());
-        slot->bytes = slot->trace->memoryBytes();
-        generated_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lk(m);
-        totalBytes += slot->bytes;
-        evictOverBudget(slot);
-    } else {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+    Victims victims;
+    std::shared_ptr<const Trace> result;
+    {
+        std::lock_guard<std::mutex> sl(slot->m);
+        if (!slot->trace) {
+            // Miss: the disk tier first (a spilled trace decodes
+            // bit-exactly and skips the generator), then generation.
+            // Any disk defect is survivable — count it and fall back.
+            if (spill) {
+                std::string skey = spillKeyOf(key);
+                try {
+                    if (spill->contains(skey)) {
+                        slot->trace = std::make_shared<const Trace>(
+                            spill->read(skey));
+                        admits_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                    }
+                } catch (const SpillError &) {
+                    slot->trace.reset();
+                    spillErrors_.fetch_add(1,
+                                           std::memory_order_relaxed);
+                }
+            }
+            if (!slot->trace) {
+                slot->trace = std::make_shared<const Trace>(gen());
+                generated_.fetch_add(1, std::memory_order_relaxed);
+            }
+            slot->bytes = slot->trace->memoryBytes();
+            std::lock_guard<std::mutex> lk(m);
+            totalBytes += slot->bytes;
+            victims = evictOverBudget(slot);
+        } else {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        result = slot->trace;
     }
-    return slot->trace;
+
+    // Spill writes happen outside every cache lock: lookups of other
+    // keys (and of this one) proceed while victims are encoded.
+    spillVictims(spill, victims);
+    return result;
 }
 
-void
+TraceCache::Victims
 TraceCache::evictOverBudget(const std::shared_ptr<Slot> &keep)
 {
     // Called with `m` held. Walk from the cold end; skip the entry
     // just inserted and any still-generating (zero-byte) slots.
+    Victims victims;
     auto it = lru.end();
     while (totalBytes > budget && it != lru.begin()) {
         --it;
@@ -82,8 +149,36 @@ TraceCache::evictOverBudget(const std::shared_ptr<Slot> &keep)
             continue;
         totalBytes -= it->second->bytes;
         map.erase(it->first);
+        victims.emplace_back(std::move(it->first),
+                             std::move(it->second));
         it = lru.erase(it);
         evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return victims;
+}
+
+void
+TraceCache::spillVictims(const std::shared_ptr<SpillStore> &spill,
+                         const Victims &victims)
+{
+    if (!spill)
+        return;
+    for (const auto &[key, slot] : victims) {
+        std::string skey = spillKeyOf(key);
+        try {
+            if (spill->contains(skey))
+                continue; // already durable from an earlier spill
+            SpillStore::WriteStats ws = spill->write(skey, *slot->trace);
+            spills_.fetch_add(1, std::memory_order_relaxed);
+            spilledBytes_.fetch_add(ws.bytesWritten,
+                                    std::memory_order_relaxed);
+            sharedBytes_.fetch_add(ws.bytesShared,
+                                   std::memory_order_relaxed);
+        } catch (const SpillError &) {
+            // Disk full / permissions / races: the cache must never
+            // fail a lookup over its own maintenance.
+            spillErrors_.fetch_add(1, std::memory_order_relaxed);
+        }
     }
 }
 
@@ -109,6 +204,11 @@ TraceCache::publishStats(obs::StatsRegistry &reg) const
     reg.gaugeMax("exec.traceCache.evictions", evictions());
     reg.gaugeMax("exec.traceCache.entries", entries());
     reg.gaugeMax("exec.traceCache.residentBytes", residentBytes());
+    reg.gaugeMax("exec.traceCache.spills", spills());
+    reg.gaugeMax("exec.traceCache.admits", admits());
+    reg.gaugeMax("exec.traceCache.spilledBytes", spilledBytes());
+    reg.gaugeMax("exec.traceCache.sharedBytes", sharedBytes());
+    reg.gaugeMax("exec.traceCache.spillErrors", spillErrors());
 }
 
 void

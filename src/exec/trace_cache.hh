@@ -17,6 +17,16 @@
  * MEMO_TRACE_CACHE_MB environment variable); outstanding shared_ptr
  * holders keep evicted traces alive, so eviction only ever costs a
  * regeneration.
+ *
+ * With a spill directory configured (setSpillDir() or the
+ * MEMO_TRACE_SPILL_DIR environment variable) the cache gains a disk
+ * tier: evicted traces are written to a content-addressed SpillStore
+ * (trace/spill.hh; format in docs/TRACE_FORMAT.md) and misses try an
+ * admit-from-disk decode before running the generator. Decode is
+ * bit-exact, so results are identical whichever tier serves a trace;
+ * any disk defect (SpillError) falls back to regeneration and bumps
+ * the spillErrors counter. Without a spill directory behaviour is
+ * exactly the RAM-only cache described above.
  */
 
 #ifndef MEMO_EXEC_TRACE_CACHE_HH
@@ -32,6 +42,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "trace/spill.hh"
 #include "trace/trace.hh"
 
 namespace memo::obs
@@ -70,6 +81,18 @@ struct TraceKey
     };
 };
 
+/**
+ * Stable textual identity of @p key in the spill store; the crop is
+ * part of the trace's content, the table configuration is not, so
+ * sweep points differing only in config share one spilled trace.
+ */
+inline std::string
+spillKeyOf(const TraceKey &key)
+{
+    return key.workload + "|" + key.image + "|" +
+           std::to_string(key.crop);
+}
+
 /** LRU-bounded map from TraceKey to a shared immutable Trace. */
 class TraceCache
 {
@@ -90,6 +113,28 @@ class TraceCache
     std::shared_ptr<const Trace> get(const TraceKey &key,
                                      const Generator &gen);
 
+    /**
+     * Point the disk tier at @p dir (created if needed); an empty
+     * string disables spilling. Traces already on disk under @p dir
+     * are admitted on miss. Not thread-safe against concurrent get()
+     * — configure before the sweep starts, as the CLI flags and the
+     * MEMO_TRACE_SPILL_DIR environment variable do.
+     */
+    void setSpillDir(const std::string &dir);
+
+    /** The configured spill directory; empty when disabled. */
+    std::string spillDir() const;
+
+    /**
+     * Replace the resident-bytes budget (0 = back to the default /
+     * MEMO_TRACE_CACHE_MB). Takes effect at the next insertion; it
+     * does not evict already-resident entries by itself.
+     */
+    void setBudgetBytes(size_t budget_bytes);
+
+    /** The active resident-bytes budget. */
+    size_t budgetBytes() const;
+
     /** Number of resident entries. */
     size_t entries() const;
 
@@ -100,11 +145,11 @@ class TraceCache
     uint64_t generated() const { return generated_.load(); }
 
     /**
-     * Lookups that had to generate: identical to generated() — every
-     * miss runs the generator exactly once — named for symmetry with
-     * hits() in the published counters.
+     * Lookups not served from a resident entry: every miss either
+     * admits the trace from the disk tier or runs the generator
+     * exactly once.
      */
-    uint64_t misses() const { return generated_.load(); }
+    uint64_t misses() const { return generated_.load() + admits_.load(); }
 
     /** Lookups served from a resident entry. */
     uint64_t hits() const { return hits_.load(); }
@@ -112,10 +157,29 @@ class TraceCache
     /** Entries dropped by the LRU budget walk (not by clear()). */
     uint64_t evictions() const { return evictions_.load(); }
 
+    /** Evicted traces written to the disk tier. */
+    uint64_t spills() const { return spills_.load(); }
+
+    /** Misses served by decoding a spilled trace (generator skipped). */
+    uint64_t admits() const { return admits_.load(); }
+
+    /** Encoded bytes written by spills (manifests + new chunks). */
+    uint64_t spilledBytes() const { return spilledBytes_.load(); }
+
+    /**
+     * Encoded bytes a spill did NOT write because identical chunks
+     * were already in the store (content-addressed dedup).
+     */
+    uint64_t sharedBytes() const { return sharedBytes_.load(); }
+
+    /** Disk-tier defects survived by falling back to regeneration. */
+    uint64_t spillErrors() const { return spillErrors_.load(); }
+
     /**
      * Fold the cache counters into @p reg as gauges
-     * (exec.traceCache.{hits,misses,evictions,entries,
-     * residentBytes}). Gauges take the max, so repeated publication
+     * (exec.traceCache.{hits,misses,evictions,entries,residentBytes}
+     * plus the disk tier's {spills,admits,spilledBytes,sharedBytes,
+     * spillErrors}). Gauges take the max, so repeated publication
      * is idempotent. Eviction order is scheduling-dependent under
      * concurrency, so callers must keep these out of registries whose
      * snapshots feed determinism diffs (memo-report's stdout summary
@@ -123,7 +187,11 @@ class TraceCache
      */
     void publishStats(obs::StatsRegistry &reg) const;
 
-    /** Drop every resident entry (shared holders stay valid). */
+    /**
+     * Drop every resident entry (shared holders stay valid). The
+     * disk tier is untouched: spilled traces stay admittable, which
+     * is what lets a capped rerun reuse the previous run's chunks.
+     */
     void clear();
 
   private:
@@ -137,17 +205,30 @@ class TraceCache
 
     using LruList =
         std::list<std::pair<TraceKey, std::shared_ptr<Slot>>>;
+    using Victims =
+        std::vector<std::pair<TraceKey, std::shared_ptr<Slot>>>;
 
-    void evictOverBudget(const std::shared_ptr<Slot> &keep);
+    /** Called with `m` held; returns the entries it dropped. */
+    Victims evictOverBudget(const std::shared_ptr<Slot> &keep);
+
+    /** Writes victims to the disk tier; takes no cache locks. */
+    void spillVictims(const std::shared_ptr<SpillStore> &spill,
+                      const Victims &victims);
 
     mutable std::mutex m;
     LruList lru; //!< front = most recently used
     std::unordered_map<TraceKey, LruList::iterator, TraceKey::Hash> map;
     size_t totalBytes = 0;
     size_t budget;
+    std::shared_ptr<SpillStore> spill_; //!< null = disk tier off
     std::atomic<uint64_t> generated_{0};
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> spills_{0};
+    std::atomic<uint64_t> admits_{0};
+    std::atomic<uint64_t> spilledBytes_{0};
+    std::atomic<uint64_t> sharedBytes_{0};
+    std::atomic<uint64_t> spillErrors_{0};
 };
 
 } // namespace memo::exec

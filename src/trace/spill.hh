@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Content-addressed on-disk store for spilled traces.
+ *
+ * Layout under one root directory (docs/TRACE_FORMAT.md §5):
+ *
+ *   <root>/chunks/<hash16>.mtc      one encoded column chunk, named
+ *                                   by its 64-bit content hash
+ *   <root>/manifests/<keyhash16>.mtm  one manifest per trace key
+ *
+ * Chunks are shared: a chunk is written only if no file with its hash
+ * exists, so traces that contain identical column slices (sweep
+ * points differing only in table configuration, reruns of the same
+ * workload) deduplicate to one copy. Writes are atomic
+ * (temp file + rename) and the manifest is written last, so a reader
+ * never observes a manifest whose chunks are missing or partial.
+ *
+ * The store itself is stateless apart from its root path; all methods
+ * are safe to call concurrently. Every read-side defect (missing
+ * file, truncation, bit rot, version skew) surfaces as SpillError —
+ * callers such as exec::TraceCache treat the disk tier as a cache and
+ * fall back to regeneration.
+ */
+
+#ifndef MEMO_TRACE_SPILL_HH
+#define MEMO_TRACE_SPILL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/chunk_codec.hh"
+#include "trace/trace.hh"
+
+namespace memo
+{
+
+/** One spill root: a chunk directory plus a manifest directory. */
+class SpillStore
+{
+  public:
+    /** Opens @p root, creating its subdirectories if needed. */
+    explicit SpillStore(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /** Byte/chunk accounting of one write(). */
+    struct WriteStats
+    {
+        uint64_t chunksWritten = 0;
+        uint64_t chunksShared = 0; //!< chunks already present on disk
+        uint64_t bytesWritten = 0;
+        uint64_t bytesShared = 0;
+    };
+
+    /**
+     * Encode @p trace and persist it under @p key, reusing any chunk
+     * already in the store. Overwrites the key's previous manifest.
+     */
+    WriteStats write(const std::string &key, const Trace &trace,
+                     uint32_t chunk_elems = kDefaultChunkElems);
+
+    /**
+     * True when a complete, well-formed manifest for @p key exists
+     * (its chunks are not probed). Never throws: a corrupt manifest
+     * reads as absent.
+     */
+    bool contains(const std::string &key) const;
+
+    /** Decode the whole trace for @p key. Throws SpillError. */
+    Trace read(const std::string &key) const;
+
+    /** Parse + verify the manifest of @p key. Throws SpillError. */
+    TraceManifest manifest(const std::string &key) const;
+
+    /** All stored keys, sorted (deterministic listing order). */
+    std::vector<std::string> keys() const;
+
+    /** On-disk size of chunk @p hash, or 0 if absent. */
+    uint64_t chunkFileBytes(uint64_t hash) const;
+
+    /** Path of the chunk file for @p hash (whether or not present). */
+    std::string chunkPath(uint64_t hash) const;
+
+    /** Path of the manifest file for @p key. */
+    std::string manifestPath(const std::string &key) const;
+
+    /**
+     * Streamed access to one spilled trace: decodes the operand
+     * columns chunk by chunk, never materializing the full trace.
+     * Chunk i of the four operand columns covers the same records
+     * (verified), so streamed replay can partition each decoded
+     * block by class and feed MemoTable::probeBlock directly.
+     */
+    class Reader
+    {
+      public:
+        uint64_t records() const { return m_.records; }
+        uint64_t ops() const { return m_.ops; }
+        size_t
+        opChunkCount() const
+        {
+            return m_.col(TraceColumn::OpCls).size();
+        }
+
+        /**
+         * Decode operand chunk @p i into the four supplied vectors
+         * (resized to the chunk's element count). Throws SpillError.
+         */
+        void readOpChunk(size_t i, std::vector<uint64_t> &cls,
+                         std::vector<uint64_t> &a,
+                         std::vector<uint64_t> &b,
+                         std::vector<uint64_t> &r) const;
+
+      private:
+        friend class SpillStore;
+        Reader(const SpillStore &store, TraceManifest m)
+            : store_(&store), m_(std::move(m))
+        {
+        }
+        const SpillStore *store_;
+        TraceManifest m_;
+    };
+
+    /** Open @p key for streamed reading. Throws SpillError. */
+    Reader open(const std::string &key) const;
+
+  private:
+    /** Read + header-verify the chunk file named by @p ref. */
+    EncodedChunk loadChunk(const ChunkRef &ref,
+                           TraceColumn which) const;
+
+    std::string root_;
+};
+
+} // namespace memo
+
+#endif // MEMO_TRACE_SPILL_HH

@@ -158,6 +158,17 @@ class TraceStore
     const uint64_t *opResults() const { return opRes_.data(); }
 
     /**
+     * Raw per-record and address columns, for column-wise export (the
+     * spill encoder in trace/chunk_codec.hh). The derived payload
+     * index is deliberately not exposed: it is reconstructed exactly
+     * from the class sequence on import.
+     */
+    const uint8_t *clsData() const { return cls_.data(); }
+    const uint32_t *pcData() const { return pc_.data(); }
+    size_t addrCount() const { return addr_.size(); }
+    const uint64_t *addrData() const { return addr_.data(); }
+
+    /**
      * Dense per-class view of the operand columns: the a/b/result
      * words of every record of class @p cls, contiguous and in trace
      * order. Built for all classes on first use and cached (a trace

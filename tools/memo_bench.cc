@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -246,6 +247,37 @@ scenarios()
                  ctx.extra["items"] = static_cast<double>(t.size());
              };
          }},
+        {"trace_spill_replay",
+         "streamed replay of one spilled (chunk-encoded, on-disk) "
+         "kernel trace", true,
+         [](BenchContext &) {
+             // Spill-pressure scenario: setup encodes the trace into
+             // a chunk store under the system temp dir (dedup makes
+             // reruns cheap); the timed body decodes the operand
+             // chunks and replays them through probeBlock without
+             // ever materializing the trace (docs/TRACE_FORMAT.md).
+             auto trace = cachedMmKernelTrace(mmKernelByName("vcost"),
+                                              imageByName("chroms"), 64);
+             auto store = std::make_shared<SpillStore>(
+                 (std::filesystem::temp_directory_path() /
+                  "memo-bench-spill")
+                     .string());
+             const std::string key = "vcost|chroms|64";
+             SpillStore::WriteStats ws = store->write(key, *trace);
+             double encoded = static_cast<double>(ws.bytesWritten +
+                                                  ws.bytesShared);
+             double raw = static_cast<double>(trace->memoryBytes());
+             size_t records = trace->size();
+             return [store, key, encoded, raw,
+                     records](BenchContext &ctx) {
+                 MemoBank bank = MemoBank::standard(MemoConfig{});
+                 hookTracer(bank, ctx.tracer);
+                 replayMemoStreamed(*store, key, bank);
+                 ctx.extra["items"] = static_cast<double>(records);
+                 ctx.extra["encodedBytes"] = encoded;
+                 ctx.extra["rawBytes"] = raw;
+             };
+         }},
     };
     return all;
 }
@@ -260,6 +292,11 @@ usage(std::ostream &os)
           "  --reps N               timed repetitions (default 5)\n"
           "  --warmup N             discarded repetitions (default 1)\n"
           "  --jobs N               worker threads (default auto)\n"
+          "  --trace-cache-budget MB  resident budget of the shared\n"
+          "                         trace cache (default 768)\n"
+          "  --trace-spill-dir DIR  spill evicted traces to a chunk\n"
+          "                         store under DIR; admitted back on\n"
+          "                         miss (docs/TRACE_FORMAT.md)\n"
           "  --history FILE         BENCH_history.json path\n"
           "  --check                gate against the history; exit 1\n"
           "                         on a regression\n"
@@ -299,6 +336,15 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.warmup = static_cast<unsigned>(std::atoi(need(i)));
         else if (a == "--jobs")
             opt.jobs = static_cast<unsigned>(std::atoi(need(i)));
+        else if (a == "--trace-cache-budget") {
+            long long mb = std::atoll(need(i));
+            if (mb <= 0)
+                throw std::runtime_error(
+                    "--trace-cache-budget needs a positive MB count");
+            exec::TraceCache::instance().setBudgetBytes(
+                static_cast<size_t>(mb) * 1024 * 1024);
+        } else if (a == "--trace-spill-dir")
+            exec::TraceCache::instance().setSpillDir(need(i));
         else if (a == "--history")
             opt.history = need(i);
         else if (a == "--check")

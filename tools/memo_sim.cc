@@ -95,7 +95,14 @@ usage()
         "execution:\n"
         "  --jobs N            worker threads for the model runs\n"
         "                      (default: hardware concurrency; 1 = "
-        "serial)\n\n"
+        "serial)\n"
+        "  --trace-cache-budget MB  resident-bytes budget of the\n"
+        "                      shared trace cache (default 768, or\n"
+        "                      MEMO_TRACE_CACHE_MB)\n"
+        "  --trace-spill-dir DIR    spill evicted traces to a chunk\n"
+        "                      store under DIR and admit them back on\n"
+        "                      miss (or MEMO_TRACE_SPILL_DIR); see\n"
+        "                      docs/TRACE_FORMAT.md\n\n"
         "output & traces:\n"
         "  --csv               machine-readable output\n"
         "  --opmix             print the instruction-class mix\n"
@@ -210,6 +217,15 @@ parseArgs(int argc, char **argv)
             if (n <= 0)
                 throw std::runtime_error("--jobs needs a positive N");
             opt.jobs = static_cast<unsigned>(n);
+        } else if (a == "--trace-cache-budget") {
+            long long mb = std::atoll(need(i).c_str());
+            if (mb <= 0)
+                throw std::runtime_error(
+                    "--trace-cache-budget needs a positive MB count");
+            exec::TraceCache::instance().setBudgetBytes(
+                static_cast<size_t>(mb) * 1024 * 1024);
+        } else if (a == "--trace-spill-dir") {
+            exec::TraceCache::instance().setSpillDir(need(i));
         } else if (a == "--csv") {
             opt.csv = true;
         } else if (a == "--opmix") {

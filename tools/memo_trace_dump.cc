@@ -1,20 +1,35 @@
 /**
  * @file
- * memo-trace-dump: inspect a saved trace file.
+ * memo-trace-dump: inspect saved traces and spill chunk stores.
  *
- * Usage:  memo-trace-dump FILE [count]
- *
- * Prints the instruction-class mix and the first `count` records
- * (default 20) in human-readable form. Companion to
- * `memo-sim --save-trace`.
+ * Usage:
+ *   memo-trace-dump FILE [count]
+ *       Print the class mix and first `count` records (default 20) of
+ *       a trace saved by `memo-sim --save-trace`.
+ *   memo-trace-dump --store DIR
+ *       List every trace in a spill chunk store (docs/TRACE_FORMAT.md)
+ *       with record/chunk counts, encoded sizes and the store-wide
+ *       dedup ratio.
+ *   memo-trace-dump --store DIR --key KEY [count]
+ *       Decode one spilled trace and print it like the FILE form.
+ *   memo-trace-dump --store DIR --chunks KEY
+ *       Per-column chunk table of one spilled trace: chunk hashes,
+ *       element counts, encoded bytes and compression ratios.
+ *   memo-trace-dump --store DIR --verify
+ *       Fully decode every trace in the store; exit 1 if any chunk or
+ *       manifest fails verification.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "arith/fp.hh"
 #include "trace/io.hh"
+#include "trace/spill.hh"
 
 using namespace memo;
 
@@ -61,38 +76,187 @@ printRecord(size_t index, const Instruction &inst)
     std::printf("\n");
 }
 
+void
+printTrace(const std::string &name, const Trace &trace, size_t count)
+{
+    std::printf("%s: %zu instructions\n\n", name.c_str(), trace.size());
+
+    OpMix mix = trace.mix();
+    std::printf("instruction mix:\n");
+    for (unsigned c = 0; c < numInstClasses; c++) {
+        InstClass cls = static_cast<InstClass>(c);
+        if (mix[cls] == 0)
+            continue;
+        std::printf("  %-9s %10llu  (%.1f%%)\n",
+                    std::string(instClassName(cls)).c_str(),
+                    static_cast<unsigned long long>(mix[cls]),
+                    100.0 * mix.fraction(cls));
+    }
+
+    std::printf("\nfirst %zu records:\n",
+                std::min(count, trace.size()));
+    for (size_t i = 0; i < trace.size() && i < count; i++)
+        printRecord(i, trace[i]);
+}
+
+/** Encoded + raw byte totals of one manifest's chunk set. */
+struct ManifestBytes
+{
+    uint64_t chunks = 0;
+    uint64_t encoded = 0; //!< on-disk bytes of the referenced chunks
+    uint64_t raw = 0;     //!< decoded bytes (column width * elems)
+};
+
+ManifestBytes
+bytesOf(const SpillStore &store, const TraceManifest &m)
+{
+    ManifestBytes mb;
+    for (size_t c = 0; c < kNumTraceColumns; c++) {
+        TraceColumn col = static_cast<TraceColumn>(c);
+        for (const ChunkRef &ref : m.col(col)) {
+            mb.chunks++;
+            mb.encoded += store.chunkFileBytes(ref.hash);
+            mb.raw += uint64_t{traceColumnWidth(col)} * ref.elems;
+        }
+    }
+    return mb;
+}
+
+int
+listStore(const SpillStore &store)
+{
+    std::vector<std::string> keys = store.keys();
+    std::printf("%s: %zu trace(s)\n\n", store.root().c_str(),
+                keys.size());
+    std::printf("%-40s %12s %8s %14s %14s\n", "key", "records",
+                "chunks", "encoded B", "raw B");
+    uint64_t referenced = 0;
+    for (const std::string &key : keys) {
+        TraceManifest m = store.manifest(key);
+        ManifestBytes mb = bytesOf(store, m);
+        referenced += mb.encoded;
+        std::printf("%-40s %12llu %8llu %14llu %14llu\n", key.c_str(),
+                    static_cast<unsigned long long>(m.records),
+                    static_cast<unsigned long long>(mb.chunks),
+                    static_cast<unsigned long long>(mb.encoded),
+                    static_cast<unsigned long long>(mb.raw));
+    }
+    // Store-wide dedup: bytes the manifests reference vs bytes the
+    // content-addressed chunk files actually occupy once.
+    uint64_t unique = 0;
+    std::vector<uint64_t> seen;
+    for (const std::string &key : keys)
+        for (const auto &col : store.manifest(key).cols)
+            for (const ChunkRef &ref : col)
+                seen.push_back(ref.hash);
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (uint64_t h : seen)
+        unique += store.chunkFileBytes(h);
+    std::printf("\nchunk files: %zu unique, %llu bytes on disk"
+                " (%.2fx referenced)\n",
+                seen.size(), static_cast<unsigned long long>(unique),
+                unique ? static_cast<double>(referenced) /
+                             static_cast<double>(unique)
+                       : 0.0);
+    return 0;
+}
+
+int
+dumpChunks(const SpillStore &store, const std::string &key)
+{
+    TraceManifest m = store.manifest(key);
+    std::printf("%s: %llu records, %llu operand rows, %llu addresses\n",
+                key.c_str(),
+                static_cast<unsigned long long>(m.records),
+                static_cast<unsigned long long>(m.ops),
+                static_cast<unsigned long long>(m.addrs));
+    for (size_t c = 0; c < kNumTraceColumns; c++) {
+        TraceColumn col = static_cast<TraceColumn>(c);
+        const auto &refs = m.col(col);
+        std::printf("\ncolumn %-6s (%u-byte elems, %zu chunk%s)\n",
+                    traceColumnName(col), traceColumnWidth(col),
+                    refs.size(), refs.size() == 1 ? "" : "s");
+        for (size_t i = 0; i < refs.size(); i++) {
+            uint64_t disk = store.chunkFileBytes(refs[i].hash);
+            uint64_t raw =
+                uint64_t{traceColumnWidth(col)} * refs[i].elems;
+            std::printf("  [%4zu] %016llx  %8u elems  %10llu B"
+                        "  (%.2fx)\n",
+                        i,
+                        static_cast<unsigned long long>(refs[i].hash),
+                        refs[i].elems,
+                        static_cast<unsigned long long>(disk),
+                        disk ? static_cast<double>(raw) /
+                                   static_cast<double>(disk)
+                             : 0.0);
+        }
+    }
+    return 0;
+}
+
+int
+verifyStore(const SpillStore &store)
+{
+    int bad = 0;
+    for (const std::string &key : store.keys()) {
+        try {
+            Trace t = store.read(key);
+            std::printf("ok      %-40s %zu records\n", key.c_str(),
+                        t.size());
+        } catch (const SpillError &e) {
+            std::printf("CORRUPT %-40s %s\n", key.c_str(), e.what());
+            bad++;
+        }
+    }
+    if (bad)
+        std::fprintf(stderr, "memo-trace-dump: %d corrupt trace(s)\n",
+                     bad);
+    return bad ? 1 : 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: memo-trace-dump FILE [count]\n"
+        "       memo-trace-dump --store DIR "
+        "[--key KEY [count] | --chunks KEY | --verify]\n");
+    return 1;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: memo-trace-dump FILE [count]\n");
-        return 1;
-    }
-    size_t count = argc > 2 ? static_cast<size_t>(std::atol(argv[2]))
-                            : 20;
     try {
-        Trace trace = readTrace(argv[1]);
-        std::printf("%s: %zu instructions\n\n", argv[1], trace.size());
-
-        OpMix mix = trace.mix();
-        std::printf("instruction mix:\n");
-        for (unsigned c = 0; c < numInstClasses; c++) {
-            InstClass cls = static_cast<InstClass>(c);
-            if (mix[cls] == 0)
-                continue;
-            std::printf("  %-9s %10llu  (%.1f%%)\n",
-                        std::string(instClassName(cls)).c_str(),
-                        static_cast<unsigned long long>(mix[cls]),
-                        100.0 * mix.fraction(cls));
+        if (argc >= 3 && std::strcmp(argv[1], "--store") == 0) {
+            SpillStore store(argv[2]);
+            if (argc == 3)
+                return listStore(store);
+            if (std::strcmp(argv[3], "--verify") == 0)
+                return verifyStore(store);
+            if (argc >= 5 && std::strcmp(argv[3], "--chunks") == 0)
+                return dumpChunks(store, argv[4]);
+            if (argc >= 5 && std::strcmp(argv[3], "--key") == 0) {
+                size_t count =
+                    argc > 5
+                        ? static_cast<size_t>(std::atol(argv[5]))
+                        : 20;
+                printTrace(argv[4], store.read(argv[4]), count);
+                return 0;
+            }
+            return usage();
         }
+        if (argc < 2 || argv[1][0] == '-')
+            return usage();
 
-        std::printf("\nfirst %zu records:\n",
-                    std::min(count, trace.size()));
-        for (size_t i = 0; i < trace.size() && i < count; i++)
-            printRecord(i, trace[i]);
+        size_t count = argc > 2
+                           ? static_cast<size_t>(std::atol(argv[2]))
+                           : 20;
+        printTrace(argv[1], readTrace(argv[1]), count);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "memo-trace-dump: %s\n", e.what());
