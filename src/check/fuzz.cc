@@ -12,6 +12,8 @@
 #include "check/differ.hh"
 #include "core/bank.hh"
 #include "core/memo_table.hh"
+#include "lint/analyzer.hh"
+#include "lint/lexer.hh"
 #include "sim/cpu.hh"
 #include "trace/chunk_codec.hh"
 #include "trace/trace.hh"
@@ -839,6 +841,187 @@ chunkCodecCase(FuzzRng &rng, uint64_t case_index,
     return std::nullopt;
 }
 
+/**
+ * Seed fragments for the memo-lint fuzz case: plausible C++ that
+ * exercises the analyzer's passes (capability model, I/O rule,
+ * determinism rules, suppressions, preprocessor and literal lexing).
+ */
+constexpr const char *lint_frags[] = {
+    "class Box {\n  std::mutex m;\n  int v = 0;\n};\n",
+    "class Reg {\n  memo::Mutex m_;\n  int n MEMO_GUARDED_BY(m_) = 0;"
+    "\n  int get() const { return n; }\n};\n",
+    "void spin(FILE *f, char *buf) {\n  fseek(f, 0, 2);\n"
+    "  std::fread(buf, 1, 8, f);\n}\n",
+    "double mix(double a, double b) {\n  if (a == b) return 0.0;\n"
+    "  return a / b;\n}\n",
+    "std::unordered_map<int, int> gmap;\nint fold() {\n  int s = 0;\n"
+    "  for (auto &kv : gmap) s += kv.second;\n  return s;\n}\n",
+    "static int counter = 0;\nvoid bump() { counter++; }\n",
+    "void fanout() {\n  std::thread t([] {});\n  t.detach();\n}\n",
+    "int Reg::bump() { return n++; }\n",
+    "#define WIDGET(x) ((x) * 2)\n#include <vector>\n",
+    "const char *s = \"/* not a comment */\";\nchar c = '\\n';\n",
+    "/* block\n   comment */\n",
+    "auto lam = [](int q) { return q ? 0x1p-3 : 2e+4; };\n",
+    "// NOLINTNEXTLINE(memo-FP-001)\nbool z(double d) "
+    "{ return d == 0.0; }\n",
+};
+
+/** Mutation dictionary biased toward lexer state machines. */
+constexpr const char *lint_dict[] = {
+    "/*", "*/", "//", "\"", "'", "R\"(", ")\"", "#", "\\\n", "\n",
+    "{",  "}",  "(",  ")",  "::", "e+",  "'\\", "NOLINT(",
+    "MEMO_GUARDED_BY(m)", "std::mutex mm;", "\x01", "\xff",
+};
+
+/** A mutated pseudo-C++ translation unit. */
+std::string
+fuzzLintSource(FuzzRng &rng)
+{
+    std::string s;
+    unsigned frags = 2 + static_cast<unsigned>(rng.below(8));
+    for (unsigned i = 0; i < frags; i++)
+        s += lint_frags[rng.below(std::size(lint_frags))];
+
+    unsigned muts = static_cast<unsigned>(rng.below(12));
+    for (unsigned i = 0; i < muts && !s.empty(); i++) {
+        size_t pos = rng.below(s.size() + 1);
+        switch (rng.below(4)) {
+          case 0: // splice a dictionary token
+            s.insert(pos, lint_dict[rng.below(std::size(lint_dict))]);
+            break;
+          case 1: { // delete a short range
+            size_t n = 1 + rng.below(8);
+            if (pos < s.size())
+                s.erase(pos, std::min(n, s.size() - pos));
+            break;
+          }
+          case 2: // flip one byte
+            if (pos < s.size())
+                s[pos] = static_cast<char>(
+                    static_cast<uint8_t>(s[pos]) ^
+                    (1u << rng.below(8)));
+            break;
+          default: { // duplicate a short range (comment/quote nesting)
+            size_t n = 1 + rng.below(16);
+            if (pos < s.size())
+                s.insert(pos,
+                         s.substr(pos, std::min(n, s.size() - pos)));
+            break;
+          }
+        }
+    }
+    return s;
+}
+
+/**
+ * The memo-lint invariants one fuzzed source must satisfy: the lexer
+ * and analyzer never crash, are deterministic, and keep positions
+ * coherent — token (line, col) strictly increases, lines stay within
+ * the file, and a comment spans exactly the newlines of its body
+ * (±1 for an unterminated trailing comment). The position checks are
+ * what the mutation self-test's injected lexer bug must trip.
+ */
+std::optional<std::string>
+lintFuzzOracle(const std::string &source, bool with_header)
+{
+    lint::LexResult one = lint::lex(source);
+    lint::LexResult two = lint::lex(source);
+    if (one.tokens.size() != two.tokens.size() ||
+        one.comments.size() != two.comments.size())
+        return "lex not deterministic: token/comment counts differ";
+    for (size_t i = 0; i < one.tokens.size(); i++) {
+        const lint::Token &x = one.tokens[i];
+        const lint::Token &y = two.tokens[i];
+        if (x.kind != y.kind || x.text != y.text || x.line != y.line ||
+            x.col != y.col)
+            return "lex not deterministic at token " +
+                   std::to_string(i);
+    }
+
+    int total_lines = 1;
+    for (char c : source)
+        total_lines += c == '\n';
+
+    int prev_line = 1, prev_col = 0;
+    for (size_t i = 0; i < one.tokens.size(); i++) {
+        const lint::Token &t = one.tokens[i];
+        if (t.line < 1 || t.col < 1 || t.line > total_lines)
+            return "token " + std::to_string(i) +
+                   " positioned outside the file: line " +
+                   std::to_string(t.line) + " of " +
+                   std::to_string(total_lines);
+        if (t.line < prev_line ||
+            (t.line == prev_line && t.col <= prev_col))
+            return "token positions not strictly increasing at token " +
+                   std::to_string(i);
+        prev_line = t.line;
+        prev_col = t.col;
+    }
+    for (size_t i = 0; i < one.comments.size(); i++) {
+        const lint::Comment &c = one.comments[i];
+        int body_newlines = 0;
+        for (char ch : c.text)
+            body_newlines += ch == '\n';
+        if (c.line < 1 || c.endLine < c.line ||
+            c.endLine > total_lines)
+            return "comment " + std::to_string(i) +
+                   " spans impossible lines " + std::to_string(c.line) +
+                   ".." + std::to_string(c.endLine);
+        int span = c.endLine - c.line;
+        if (span < body_newlines || span > body_newlines + 1)
+            return "comment " + std::to_string(i) + " spans " +
+                   std::to_string(span) + " lines but its body has " +
+                   std::to_string(body_newlines) + " newlines";
+    }
+
+    // The analyzer over the same mutated source (under a path that
+    // arms every path-scoped rule) must not crash and must produce
+    // the same findings twice.
+    lint::AnalyzerOptions opt;
+    opt.relPath = "src/trace/fuzzed.cc";
+    if (with_header)
+        opt.companionHeader = source;
+    std::vector<lint::Finding> f1 = lint::analyzeFile(source, opt);
+    std::vector<lint::Finding> f2 = lint::analyzeFile(source, opt);
+    if (f1.size() != f2.size())
+        return "analyzeFile not deterministic: finding counts differ";
+    for (size_t i = 0; i < f1.size(); i++)
+        if (std::string_view(f1[i].rule->id) != f2[i].rule->id ||
+            f1[i].line != f2[i].line || f1[i].col != f2[i].col)
+            return "analyzeFile not deterministic at finding " +
+                   std::to_string(i);
+    return std::nullopt;
+}
+
+/**
+ * memo-lint robustness case: a mutated translation unit fed through
+ * the lexer and the full analyzer. The linter runs in CI over
+ * arbitrary future code, so it must hold lintFuzzOracle()'s
+ * invariants on garbage input — under ASan/UBSan this is primarily a
+ * never-crashes guarantee.
+ */
+std::optional<FuzzFailure>
+lintCase(FuzzRng &rng, uint64_t case_index, const FuzzOptions &opts)
+{
+    std::string source = fuzzLintSource(rng);
+    bool with_header = rng.chance(1, 3);
+    auto violation = lintFuzzOracle(source, with_header);
+    if (!violation)
+        return std::nullopt;
+    FuzzFailure f;
+    f.caseIndex = case_index;
+    f.kind = "lint-analyzer";
+    f.what = *violation;
+    std::ostringstream repro;
+    repro << "memo_fuzz --seed " << opts.seed << " --iters "
+          << (case_index + 1) << " --stream " << opts.streamLen;
+    f.repro = repro.str();
+    f.detail = "mutated source of " + std::to_string(source.size()) +
+               " bytes" + (with_header ? " (also as header)" : "");
+    return f;
+}
+
 } // anonymous namespace
 
 MemoConfig
@@ -905,7 +1088,7 @@ std::optional<FuzzFailure>
 runFuzzCase(uint64_t case_index, const FuzzOptions &opts)
 {
     FuzzRng rng = caseRng(opts.seed, case_index);
-    switch (rng.below(10)) {
+    switch (rng.below(11)) {
       case 0:
       case 1:
       case 2:
@@ -922,6 +1105,8 @@ runFuzzCase(uint64_t case_index, const FuzzOptions &opts)
         return batchedReplayCase(rng, case_index, opts, false);
       case 8:
         return chunkCodecCase(rng, case_index, opts);
+      case 9:
+        return lintCase(rng, case_index, opts);
       default:
         return cpuCase(rng, case_index, opts);
     }
@@ -986,7 +1171,23 @@ mutationSelfTest(const FuzzOptions &opts, std::ostream *log)
                 "survived "
              << opts.iters << " cases (seed " << opts.seed << ")\n";
 
-    return tag_caught && block_caught;
+    // Third leg: break the lexer's block-comment newline accounting
+    // and require the lint oracle's position invariants to notice.
+    // Deterministic — one canonical multi-line comment suffices.
+    lint::setLexerFaultInjection(true);
+    bool lexer_caught =
+        lintFuzzOracle("/* a\n b */ int x;\n", false).has_value();
+    lint::setLexerFaultInjection(false);
+    if (log) {
+        if (lexer_caught)
+            *log << "lexer mutation caught: block-comment newline "
+                    "accounting bug tripped the lint oracle\n";
+        else
+            *log << "MUTATION MISSED: injected lexer newline bug "
+                    "survived the lint oracle\n";
+    }
+
+    return tag_caught && block_caught && lexer_caught;
 }
 
 } // namespace memo::check

@@ -18,10 +18,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <new>
 #include <unordered_map>
 #include <vector>
+
+#include "annotations.hh"
 
 namespace memo
 {
@@ -66,7 +67,7 @@ class LineGenerations
         uint64_t base = reinterpret_cast<uintptr_t>(p);
         uint64_t first = base / kRecordedLineBytes;
         uint64_t last = (base + bytes - 1) / kRecordedLineBytes;
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         for (uint64_t line = first; line <= last; line++)
             gen[line]++;
     }
@@ -75,7 +76,7 @@ class LineGenerations
     uint32_t
     of(uint64_t line)
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         auto it = gen.find(line);
         return it == gen.end() ? 0 : it->second;
     }
@@ -83,8 +84,8 @@ class LineGenerations
   private:
     LineGenerations() = default;
 
-    std::mutex mu;
-    std::unordered_map<uint64_t, uint32_t> gen;
+    Mutex mu;
+    std::unordered_map<uint64_t, uint32_t> gen MEMO_GUARDED_BY(mu);
 };
 
 /** std::allocator drop-in returning Align-aligned blocks. */

@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(m);
+        MutexLock lk(m);
         stopping = true;
     }
     work_cv.notify_all();
@@ -42,7 +42,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lk(m);
+        MutexLock lk(m);
         queue.push_back(std::move(task));
     }
     work_cv.notify_one();
@@ -51,8 +51,12 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lk(m);
-    idle_cv.wait(lk, [this] { return queue.empty() && active == 0; });
+    // Manual predicate loop (not the wait-with-lambda overload): the
+    // thread-safety analysis cannot see that a wait predicate runs
+    // with the lock held, so the guarded reads live in this scope.
+    UniqueLock lk(m);
+    while (!(queue.empty() && active == 0))
+        idle_cv.wait(lk.native());
 }
 
 void
@@ -62,15 +66,15 @@ ThreadPool::workerLoop(unsigned index)
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lk(m);
+            UniqueLock lk(m);
             // Clock reads only while the host profiler is on: with
             // profiling off the wait is exactly the uninstrumented
             // one (determinism contract, see WorkerStats).
             uint64_t w0 = prof::Profiler::global().enabled()
                               ? prof::nowNs()
                               : 0;
-            work_cv.wait(lk,
-                         [this] { return stopping || !queue.empty(); });
+            while (!stopping && queue.empty())
+                work_cv.wait(lk.native());
             if (w0)
                 wstats[index].idleNs += prof::nowNs() - w0;
             if (queue.empty())
@@ -84,7 +88,7 @@ ThreadPool::workerLoop(unsigned index)
                           : 0;
         task();
         {
-            std::lock_guard<std::mutex> lk(m);
+            MutexLock lk(m);
             if (t0)
                 wstats[index].busyNs += prof::nowNs() - t0;
             wstats[index].tasks++;
@@ -97,7 +101,7 @@ ThreadPool::workerLoop(unsigned index)
 std::vector<ThreadPool::WorkerStats>
 ThreadPool::workerStats() const
 {
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     return wstats;
 }
 

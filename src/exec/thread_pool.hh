@@ -17,9 +17,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hh"
 
 namespace memo::obs
 {
@@ -101,16 +102,19 @@ class ThreadPool
     void publishUtilization(obs::StatsRegistry &reg) const;
 
   private:
-    void workerLoop(unsigned index);
+    void workerLoop(unsigned index) MEMO_EXCLUDES(m);
 
-    std::vector<std::thread> workers;
-    std::vector<WorkerStats> wstats; //!< one slot per worker; `m`
-    std::deque<std::function<void()>> queue;
-    mutable std::mutex m;
+    /// Built in the constructor, joined in the destructor; both run
+    /// single-threaded by contract, so the vector needs no guard.
+    std::vector<std::thread> workers MEMO_UNGUARDED;
+    mutable Mutex m;
+    std::vector<WorkerStats> wstats
+        MEMO_GUARDED_BY(m); //!< one slot per worker
+    std::deque<std::function<void()>> queue MEMO_GUARDED_BY(m);
     std::condition_variable work_cv;  //!< queue became non-empty / stop
     std::condition_variable idle_cv;  //!< a task finished / queue drained
-    size_t active = 0;                //!< tasks currently executing
-    bool stopping = false;
+    size_t active MEMO_GUARDED_BY(m) = 0;  //!< tasks currently executing
+    bool stopping MEMO_GUARDED_BY(m) = false;
 };
 
 } // namespace memo::exec

@@ -47,28 +47,28 @@ TraceCache::setSpillDir(const std::string &dir)
     std::shared_ptr<SpillStore> store;
     if (!dir.empty())
         store = std::make_shared<SpillStore>(dir);
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     spill_ = std::move(store);
 }
 
 std::string
 TraceCache::spillDir() const
 {
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     return spill_ ? spill_->root() : std::string();
 }
 
 void
 TraceCache::setBudgetBytes(size_t budget_bytes)
 {
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     budget = budget_bytes ? budget_bytes : defaultBudget();
 }
 
 size_t
 TraceCache::budgetBytes() const
 {
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     return budget;
 }
 
@@ -78,7 +78,7 @@ TraceCache::get(const TraceKey &key, const Generator &gen)
     std::shared_ptr<Slot> slot;
     std::shared_ptr<SpillStore> spill;
     {
-        std::lock_guard<std::mutex> lk(m);
+        MutexLock lk(m);
         auto it = map.find(key);
         if (it != map.end()) {
             lru.splice(lru.begin(), lru, it->second);
@@ -96,7 +96,7 @@ TraceCache::get(const TraceKey &key, const Generator &gen)
     Victims victims;
     std::shared_ptr<const Trace> result;
     {
-        std::lock_guard<std::mutex> sl(slot->m);
+        MutexLock sl(slot->m);
         if (!slot->trace) {
             // Miss: the disk tier first (a spilled trace decodes
             // bit-exactly and skips the generator), then generation.
@@ -120,9 +120,15 @@ TraceCache::get(const TraceKey &key, const Generator &gen)
                 slot->trace = std::make_shared<const Trace>(gen());
                 generated_.fetch_add(1, std::memory_order_relaxed);
             }
-            slot->bytes = slot->trace->memoryBytes();
-            std::lock_guard<std::mutex> lk(m);
-            totalBytes += slot->bytes;
+            // The 0 -> n transition of slot->bytes happens under the
+            // cache mutex, together with its totalBytes contribution:
+            // an eviction walk (which runs with `m` held) can then
+            // never observe a slot size whose bytes were not yet
+            // accounted and drive totalBytes below zero.
+            size_t nbytes = slot->trace->memoryBytes();
+            MutexLock lk(m);
+            slot->bytes.store(nbytes, std::memory_order_relaxed);
+            totalBytes += nbytes;
             victims = evictOverBudget(slot);
         } else {
             hits_.fetch_add(1, std::memory_order_relaxed);
@@ -145,9 +151,11 @@ TraceCache::evictOverBudget(const std::shared_ptr<Slot> &keep)
     auto it = lru.end();
     while (totalBytes > budget && it != lru.begin()) {
         --it;
-        if (it->second == keep || it->second->bytes == 0)
+        size_t vbytes =
+            it->second->bytes.load(std::memory_order_relaxed);
+        if (it->second == keep || vbytes == 0)
             continue;
-        totalBytes -= it->second->bytes;
+        totalBytes -= vbytes;
         map.erase(it->first);
         victims.emplace_back(std::move(it->first),
                              std::move(it->second));
@@ -165,10 +173,19 @@ TraceCache::spillVictims(const std::shared_ptr<SpillStore> &spill,
         return;
     for (const auto &[key, slot] : victims) {
         std::string skey = spillKeyOf(key);
+        // Victims are unreachable from the map, but a requester that
+        // grabbed the slot before eviction may still hold its mutex;
+        // copy the trace pointer under it (uncontended in practice —
+        // a victim's generation finished before it became evictable).
+        std::shared_ptr<const Trace> trace;
+        {
+            MutexLock sl(slot->m);
+            trace = slot->trace;
+        }
         try {
             if (spill->contains(skey))
                 continue; // already durable from an earlier spill
-            SpillStore::WriteStats ws = spill->write(skey, *slot->trace);
+            SpillStore::WriteStats ws = spill->write(skey, *trace);
             spills_.fetch_add(1, std::memory_order_relaxed);
             spilledBytes_.fetch_add(ws.bytesWritten,
                                     std::memory_order_relaxed);
@@ -185,14 +202,14 @@ TraceCache::spillVictims(const std::shared_ptr<SpillStore> &spill,
 size_t
 TraceCache::entries() const
 {
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     return map.size();
 }
 
 size_t
 TraceCache::residentBytes() const
 {
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     return totalBytes;
 }
 
@@ -214,7 +231,7 @@ TraceCache::publishStats(obs::StatsRegistry &reg) const
 void
 TraceCache::clear()
 {
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     map.clear();
     lru.clear();
     totalBytes = 0;

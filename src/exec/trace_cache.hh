@@ -37,10 +37,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "core/annotations.hh"
 
 #include "trace/spill.hh"
 #include "trace/trace.hh"
@@ -198,9 +199,13 @@ class TraceCache
     /** One cached trace; `m` serializes its (single) generation. */
     struct Slot
     {
-        std::mutex m;
-        std::shared_ptr<const Trace> trace;
-        size_t bytes = 0;
+        Mutex m;
+        std::shared_ptr<const Trace> trace MEMO_GUARDED_BY(m);
+        /// Size of `trace` once generated. Transitions 0 -> n exactly
+        /// once, with BOTH this slot's `m` and the cache mutex held,
+        /// so the eviction walk (cache mutex only) always reads a
+        /// value whose totalBytes contribution has been accounted.
+        std::atomic<size_t> bytes{0};
     };
 
     using LruList =
@@ -209,18 +214,22 @@ class TraceCache
         std::vector<std::pair<TraceKey, std::shared_ptr<Slot>>>;
 
     /** Called with `m` held; returns the entries it dropped. */
-    Victims evictOverBudget(const std::shared_ptr<Slot> &keep);
+    Victims evictOverBudget(const std::shared_ptr<Slot> &keep)
+        MEMO_REQUIRES(m);
 
-    /** Writes victims to the disk tier; takes no cache locks. */
+    /** Writes victims to the disk tier; takes no cache-wide locks
+     *  (only each victim's slot mutex, briefly). */
     void spillVictims(const std::shared_ptr<SpillStore> &spill,
-                      const Victims &victims);
+                      const Victims &victims) MEMO_EXCLUDES(m);
 
-    mutable std::mutex m;
-    LruList lru; //!< front = most recently used
-    std::unordered_map<TraceKey, LruList::iterator, TraceKey::Hash> map;
-    size_t totalBytes = 0;
-    size_t budget;
-    std::shared_ptr<SpillStore> spill_; //!< null = disk tier off
+    mutable Mutex m;
+    LruList lru MEMO_GUARDED_BY(m); //!< front = most recently used
+    std::unordered_map<TraceKey, LruList::iterator, TraceKey::Hash> map
+        MEMO_GUARDED_BY(m);
+    size_t totalBytes MEMO_GUARDED_BY(m) = 0;
+    size_t budget MEMO_GUARDED_BY(m);
+    std::shared_ptr<SpillStore> spill_
+        MEMO_GUARDED_BY(m); //!< null = disk tier off
     std::atomic<uint64_t> generated_{0};
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> evictions_{0};

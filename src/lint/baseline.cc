@@ -281,6 +281,28 @@ Baseline::count(const std::string &rule,
 }
 
 std::vector<std::string>
+Baseline::staleEntries(const std::vector<Finding> &findings) const
+{
+    std::map<std::pair<std::string, std::string>, uint64_t> actual;
+    for (const Finding &f : findings)
+        actual[{f.rule->id, f.file}]++;
+    std::vector<std::string> stale;
+    for (const auto &[key, tolerated] : counts_) {
+        if (!tolerated)
+            continue;
+        auto it = actual.find(key);
+        uint64_t have = it == actual.end() ? 0 : it->second;
+        if (have < tolerated) {
+            std::ostringstream os;
+            os << key.first << " @ " << key.second << " (tolerates "
+               << tolerated << ", found " << have << ")";
+            stale.push_back(os.str());
+        }
+    }
+    return stale;
+}
+
+std::vector<std::string>
 Baseline::errorSeverityEntries() const
 {
     std::vector<std::string> bad;

@@ -8,9 +8,16 @@
  * baseline, so the committed `lint-baseline.json` can only shrink
  * over time (fix a finding, regenerate, commit). Matching is by
  * count, not line number, so unrelated edits never invalidate the
- * baseline. Policy (enforced by tests/test_lint.cc): DET and CONC
- * findings must never be baselined — they are fixed or explicitly
- * NOLINT-suppressed with a justification.
+ * baseline. Two policies keep the ratchet honest (both enforced by
+ * tests/test_lint.cc and the driver):
+ *
+ *  - Error-severity findings (the DET, CONC and IO families) must
+ *    never be baselined — they are fixed or explicitly
+ *    NOLINT-suppressed with a justification.
+ *  - The baseline may not go stale: an entry tolerating more
+ *    findings than the code still produces is rejected, so a fix
+ *    must be accompanied by a shrunk baseline (`--update-baseline`)
+ *    and the headroom can never be spent on a new regression.
  */
 
 #ifndef MEMO_LINT_BASELINE_HH
@@ -53,8 +60,18 @@ class Baseline
     uint64_t count(const std::string &rule,
                    const std::string &file) const;
 
-    /** Entries whose rule family is DET or CONC (policy violations). */
+    /** Entries for error-severity rules (policy violations). */
     std::vector<std::string> errorSeverityEntries() const;
+
+    /**
+     * Entries that tolerate more findings than @p findings actually
+     * contains for their (rule, file) pair — stale headroom that must
+     * be ratcheted away with `--update-baseline`. Applies to every
+     * severity. Each string names the entry with its tolerated and
+     * actual counts.
+     */
+    std::vector<std::string>
+    staleEntries(const std::vector<Finding> &findings) const;
 
   private:
     std::map<std::pair<std::string, std::string>, uint64_t> counts_;

@@ -62,7 +62,11 @@ collectFiles(const std::vector<std::string> &paths, std::ostream &err,
                 const fs::path &fp = it->path();
                 std::string name = fp.filename().string();
                 if (it->is_directory() &&
-                    (name == ".git" || name.rfind("build", 0) == 0)) {
+                    (name == ".git" || name.rfind("build", 0) == 0 ||
+                     name == "lint_fixtures")) {
+                    // Fixture corpora carry deliberate violations;
+                    // they are linted by the EXPECT self-test, not
+                    // by repo runs.
                     it.disable_recursion_pending();
                     continue;
                 }
@@ -225,6 +229,38 @@ runLint(const DriverConfig &cfg, std::ostream &out, std::ostream &err)
     }
     std::sort(findings.begin(), findings.end());
 
+    if (!cfg.updateBaselinePath.empty()) {
+        // The ratchet-shrinking path: unlike --write-baseline it
+        // enforces the baseline policy, so it can never be used to
+        // absorb an error-severity regression.
+        std::vector<std::string> hard;
+        for (const Finding &f : findings)
+            if (f.rule->severity == Severity::Error) {
+                std::ostringstream os;
+                os << f.rule->id << " @ " << f.file << ":" << f.line;
+                hard.push_back(os.str());
+            }
+        if (!hard.empty()) {
+            err << "memo-lint: refusing to update baseline: "
+                   "error-severity findings must be fixed, not "
+                   "baselined:\n";
+            for (const std::string &e : hard)
+                err << "  " << e << "\n";
+            return 1;
+        }
+        Baseline b = Baseline::fromFindings(findings);
+        std::ofstream bf(cfg.updateBaselinePath, std::ios::binary);
+        if (!bf) {
+            err << "memo-lint: cannot write "
+                << cfg.updateBaselinePath << "\n";
+            return 2;
+        }
+        bf << b.serialize();
+        out << "memo-lint: updated baseline with " << b.size()
+            << " tolerated findings\n";
+        return self_failures ? 1 : 0;
+    }
+
     if (!cfg.writeBaselinePath.empty()) {
         Baseline b = Baseline::fromFindings(findings);
         std::ofstream bf(cfg.writeBaselinePath, std::ios::binary);
@@ -256,9 +292,20 @@ runLint(const DriverConfig &cfg, std::ostream &out, std::ostream &err)
         }
         std::vector<std::string> bad = b.errorSeverityEntries();
         if (!bad.empty()) {
-            err << "memo-lint: baseline policy violation: DET/CONC "
-                   "findings must be fixed, not baselined:\n";
+            err << "memo-lint: baseline policy violation: "
+                   "error-severity (DET/CONC/IO) findings must be "
+                   "fixed, not baselined:\n";
             for (const std::string &e : bad)
+                err << "  " << e << "\n";
+            return 1;
+        }
+        std::vector<std::string> stale = b.staleEntries(findings);
+        if (!stale.empty()) {
+            err << "memo-lint: stale baseline: entries tolerate "
+                   "findings the code no longer produces; shrink the "
+                   "ratchet with --update-baseline "
+                << cfg.baselinePath << ":\n";
+            for (const std::string &e : stale)
                 err << "  " << e << "\n";
             return 1;
         }

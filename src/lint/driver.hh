@@ -34,6 +34,12 @@ struct DriverConfig
     std::string baselinePath;
     /** Regenerate the baseline to this path instead of failing. */
     std::string writeBaselinePath;
+    /**
+     * Ratchet the baseline: rewrite this path from the current
+     * findings, refusing (exit 1) if any error-severity finding
+     * exists. The sanctioned way to shrink a stale baseline.
+     */
+    std::string updateBaselinePath;
     /** "text", "json" or "sarif". */
     std::string format = "text";
     /** Fixture directory for the EXPECT self-test ("" = skip). */
@@ -44,7 +50,8 @@ struct DriverConfig
 
 /**
  * Run the linter.
- * @return 0 clean, 1 new findings or failed self-test, 2 bad config.
+ * @return 0 clean, 1 new findings / failed self-test / baseline
+ *         policy or staleness violation, 2 bad config.
  */
 int runLint(const DriverConfig &cfg, std::ostream &out,
             std::ostream &err);

@@ -1,5 +1,6 @@
 #include "lexer.hh"
 
+#include <atomic>
 #include <cctype>
 
 namespace memo::lint
@@ -7,6 +8,9 @@ namespace memo::lint
 
 namespace
 {
+
+/** setLexerFaultInjection() state; read once per block comment. */
+std::atomic<bool> lexer_fault_injection{false};
 
 bool
 isIdentStart(char c)
@@ -76,7 +80,14 @@ lex(std::string_view src)
                 j++;
             size_t end = (j + 1 < src.size()) ? j + 2 : src.size();
             std::string body(src.substr(i + 2, j - i - 2));
-            advance(end - i);
+            if (lexer_fault_injection.load(std::memory_order_relaxed)) {
+                // Injected bug: skip the comment without counting its
+                // newlines, desynchronizing every later position.
+                col += static_cast<int>(end - i);
+                i = end;
+            } else {
+                advance(end - i);
+            }
             out.comments.push_back({std::move(body), start_line, line});
             continue;
         }
@@ -213,6 +224,12 @@ lex(std::string_view src)
         advance(1);
     }
     return out;
+}
+
+void
+setLexerFaultInjection(bool enabled)
+{
+    lexer_fault_injection.store(enabled, std::memory_order_relaxed);
 }
 
 } // namespace memo::lint

@@ -58,6 +58,15 @@ struct LexResult
 /** Lex @p source. Never throws; unrecognized bytes become Punct. */
 LexResult lex(std::string_view source);
 
+/**
+ * Test-only fault injection: when enabled, lex() deliberately stops
+ * counting newlines inside block comments, so every token after a
+ * multi-line block comment carries a wrong line number. The fuzz
+ * oracle's mutation self-test (src/check/fuzz.cc) turns this on to
+ * prove its lexer invariants have teeth. Never enable outside tests.
+ */
+void setLexerFaultInjection(bool enabled);
+
 } // namespace memo::lint
 
 #endif // MEMO_LINT_LEXER_HH

@@ -13,7 +13,11 @@
  *  - FP:   floating-point patterns that silently break bit-exactness
  *          (== on floats, order-sensitive accumulation);
  *  - CONC: concurrency hazards outside the sanctioned executor
- *          (raw threads, mutable shared state);
+ *          (raw threads, mutable shared state, guarded fields used
+ *          without their capability annotations);
+ *  - IO:   dropped I/O outcomes in the trace disk tier, whose
+ *          contract is that every read-side defect surfaces as a
+ *          SpillError;
  *  - API:  bypasses of repo-internal observability contracts.
  */
 
@@ -26,7 +30,7 @@
 namespace memo::lint
 {
 
-/** Finding severity. DET and CONC findings gate CI as errors. */
+/** Finding severity. DET, CONC and IO findings gate CI as errors. */
 enum class Severity
 {
     Error,
@@ -37,7 +41,7 @@ enum class Severity
 struct RuleInfo
 {
     const char *id;      //!< e.g. "memo-DET-001"
-    const char *family;  //!< "DET", "FP", "CONC", "API"
+    const char *family;  //!< "DET", "FP", "CONC", "IO", "API"
     Severity severity;
     const char *summary; //!< one-line description
     const char *hint;    //!< fix-it guidance

@@ -110,7 +110,7 @@ StatsRegistry::localShard()
     auto it = tls_shards.find(id_);
     if (it != tls_shards.end())
         return *static_cast<Shard *>(it->second);
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     shards_.push_back(std::make_unique<Shard>());
     Shard *shard = shards_.back().get();
     tls_shards.emplace(id_, shard);
@@ -156,7 +156,7 @@ Snapshot
 StatsRegistry::snapshot() const
 {
     Snapshot snap;
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     // Shard iteration order is unspecified, but every fold here is
     // commutative over exact values (integer +=, max, histogram
     // bucket-count merge) into sorted std::map keys, so the snapshot
@@ -183,7 +183,7 @@ StatsRegistry::snapshot() const
 void
 StatsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     for (auto &shard : shards_) {
         shard->counters.clear();
         shard->gauges.clear();

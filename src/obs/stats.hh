@@ -28,11 +28,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "core/annotations.hh"
 
 namespace memo::obs
 {
@@ -177,8 +178,11 @@ class StatsRegistry
     Shard &localShard();
 
     const uint64_t id_; //!< distinguishes re-allocated registries
-    mutable std::mutex m_;
-    std::vector<std::unique_ptr<Shard>> shards_;
+    mutable Mutex m_;
+    /// Shard ownership; writes through a registered Shard* go to
+    /// thread-private state and are lock-free by design (see the file
+    /// comment) — only registration and whole-registry folds lock.
+    std::vector<std::unique_ptr<Shard>> shards_ MEMO_GUARDED_BY(m_);
 };
 
 } // namespace memo::obs

@@ -28,18 +28,22 @@ Heartbeat::~Heartbeat()
 void
 Heartbeat::stop()
 {
+    // Joining is always done with m_ released: the display thread
+    // must reacquire m_ to leave its timed wait, so a join under the
+    // lock could never complete.
+    bool first = false;
     {
-        std::lock_guard<std::mutex> lk(m_);
-        if (stopping_) {
-            if (thread_.joinable())
-                thread_.join();
-            return;
+        MutexLock lk(m_);
+        if (!stopping_) {
+            stopping_ = true;
+            first = true;
         }
-        stopping_ = true;
     }
     cv_.notify_all();
     if (thread_.joinable())
         thread_.join();
+    if (!first)
+        return;
     // Land the final state on its own completed line, even when the
     // run finished before the first refresh fired.
     printLine(done_.load(std::memory_order_relaxed), nowNs());
@@ -50,10 +54,18 @@ Heartbeat::stop()
 void
 Heartbeat::loop()
 {
-    std::unique_lock<std::mutex> lk(m_);
+    UniqueLock lk(m_);
     for (;;) {
-        cv_.wait_for(lk, std::chrono::nanoseconds(intervalNs_),
-                     [this] { return stopping_; });
+        // Manual timed wait (not the predicate overload): the
+        // thread-safety analysis cannot see that a wait predicate
+        // runs with the lock held, so the guarded read of stopping_
+        // stays in this scope. A timeout means "refresh the line".
+        while (!stopping_) {
+            if (cv_.wait_for(lk.native(),
+                             std::chrono::nanoseconds(intervalNs_)) ==
+                std::cv_status::timeout)
+                break;
+        }
         if (stopping_)
             return;
         lk.unlock();

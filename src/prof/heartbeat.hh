@@ -22,9 +22,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "core/annotations.hh"
 
 namespace memo::prof
 {
@@ -67,20 +68,21 @@ class Heartbeat
     void loop();
     void printLine(uint64_t done, uint64_t now_ns);
 
-    std::string label_;
-    uint64_t total_;
-    uint64_t intervalNs_;
-    uint64_t startNs_;
-    std::ostream *os_; //!< never stdout
+    const std::string label_;
+    const uint64_t total_;
+    const uint64_t intervalNs_;
+    const uint64_t startNs_;
+    std::ostream *const os_; //!< never stdout
 
     std::atomic<uint64_t> done_{0};
-    bool stopping_ = false; //!< guarded by m_
-    std::mutex m_;
+    bool stopping_ MEMO_GUARDED_BY(m_) = false;
+    Mutex m_;
     std::condition_variable cv_;
     // The display thread is deliberately detached from the executor:
     // it must keep printing while the pool is saturated, and it only
-    // reads an atomic and writes stderr. Joined in the destructor.
-    std::thread thread_; // NOLINT(memo-CONC-001)
+    // reads an atomic and writes stderr. Built in the constructor and
+    // joined by the first stop() after it releases m_.
+    std::thread thread_ MEMO_UNGUARDED; // NOLINT(memo-CONC-001)
 };
 
 } // namespace memo::prof

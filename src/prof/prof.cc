@@ -69,7 +69,7 @@ Profiler::localBuf()
     auto it = tls_bufs.find(id_);
     if (it != tls_bufs.end())
         return *static_cast<Buf *>(it->second);
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     bufs_.push_back(std::make_unique<Buf>());
     Buf *buf = bufs_.back().get();
     buf->tid = static_cast<uint32_t>(bufs_.size());
@@ -91,7 +91,7 @@ Profiler::snapshot() const
 {
     std::vector<Span> out;
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         for (const auto &buf : bufs_)
             out.insert(out.end(), buf->spans.begin(),
                        buf->spans.end());
@@ -110,7 +110,7 @@ Profiler::snapshot() const
 size_t
 Profiler::size() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     size_t n = 0;
     for (const auto &buf : bufs_)
         n += buf->spans.size();
@@ -120,7 +120,7 @@ Profiler::size() const
 void
 Profiler::clear()
 {
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     for (auto &buf : bufs_)
         buf->spans.clear();
 }

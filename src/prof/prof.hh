@@ -31,9 +31,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/annotations.hh"
 
 namespace memo::obs
 {
@@ -140,8 +141,11 @@ class Profiler
     const uint64_t id_; //!< distinguishes re-allocated profilers
     std::atomic<bool> enabled_{false};
     std::atomic<uint64_t> epoch_{0};
-    mutable std::mutex m_;
-    std::vector<std::unique_ptr<Buf>> bufs_;
+    mutable Mutex m_;
+    /// Buffer ownership; recording through a registered Buf* touches
+    /// thread-private state without locking (see the class comment) —
+    /// only registration and whole-profiler folds lock.
+    std::vector<std::unique_ptr<Buf>> bufs_ MEMO_GUARDED_BY(m_);
 };
 
 /**

@@ -130,7 +130,11 @@ class SpillStore
     EncodedChunk loadChunk(const ChunkRef &ref,
                            TraceColumn which) const;
 
-    std::string root_;
+    /// The store's only state. Immutable after construction, so every
+    /// method is safe to call concurrently without locking: writes
+    /// are atomic at the filesystem level (temp file + rename) and
+    /// reads only ever see fully-renamed files.
+    const std::string root_;
 };
 
 } // namespace memo

@@ -1,7 +1,5 @@
 #include "trace_store.hh"
 
-#include <mutex>
-
 namespace memo
 {
 
@@ -17,14 +15,14 @@ TraceStore::classCounts() const
 const TraceStore::ClassColumns &
 TraceStore::classColumns(InstClass cls) const
 {
-    // One process-wide mutex guards creation and (re)build of every
-    // store's partition cache. The critical section after the first
-    // build is a size check and an array index, so sharing one lock
-    // across all traces costs nothing measurable; the mutex acquire
-    // also publishes the built columns to later readers (the columns
-    // themselves are only ever written under the lock).
-    static std::mutex mu; // NOLINT(memo-CONC-003)
-    std::lock_guard<std::mutex> lock(mu);
+    // partMu (class-scope, process-wide) guards creation and
+    // (re)build of every store's partition cache. The critical
+    // section after the first build is a size check and an array
+    // index, so sharing one lock across all traces costs nothing
+    // measurable; the mutex acquire also publishes the built columns
+    // to later readers (the columns themselves are only ever written
+    // under the lock).
+    MutexLock lock(partMu);
     if (!part_)
         part_ = std::make_unique<Partition>();
     if (part_->builtFor != opA_.size()) {

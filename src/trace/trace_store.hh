@@ -35,6 +35,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/annotations.hh"
+
 #include "trace/instruction.hh"
 
 namespace memo
@@ -65,7 +67,10 @@ class TraceStore
         opB_ = o.opB_;
         opRes_ = o.opRes_;
         addr_ = o.addr_;
-        part_.reset();
+        {
+            MutexLock lock(partMu);
+            part_.reset();
+        }
         return *this;
     }
 
@@ -193,7 +198,10 @@ class TraceStore
         opB_.clear();
         opRes_.clear();
         addr_.clear();
-        part_.reset();
+        {
+            MutexLock lock(partMu);
+            part_.reset();
+        }
     }
 
     /**
@@ -282,19 +290,22 @@ class TraceStore
     const_iterator end() const { return {this, size()}; }
 
   private:
-    // Per-record columns.
-    std::vector<uint8_t> cls_;
-    std::vector<uint32_t> pc_;
-    std::vector<uint32_t> payload_; //!< index into opA_/opB_/opRes_ or addr_
+    // Per-record columns. Record/clear run strictly before any
+    // concurrent replay (a trace is frozen once recorded), so the
+    // columns themselves carry no lock.
+    std::vector<uint8_t> cls_ MEMO_UNGUARDED;
+    std::vector<uint32_t> pc_ MEMO_UNGUARDED;
+    std::vector<uint32_t> payload_
+        MEMO_UNGUARDED; //!< index into opA_/opB_/opRes_ or addr_
 
     // Side columns, indexed by payload_. opCls_ repeats the class of
     // each operand-carrying record so batched replay can walk the
     // operand columns alone (see opClasses()).
-    std::vector<uint8_t> opCls_;
-    std::vector<uint64_t> opA_;
-    std::vector<uint64_t> opB_;
-    std::vector<uint64_t> opRes_;
-    std::vector<uint64_t> addr_;
+    std::vector<uint8_t> opCls_ MEMO_UNGUARDED;
+    std::vector<uint64_t> opA_ MEMO_UNGUARDED;
+    std::vector<uint64_t> opB_ MEMO_UNGUARDED;
+    std::vector<uint64_t> opRes_ MEMO_UNGUARDED;
+    std::vector<uint64_t> addr_ MEMO_UNGUARDED;
 
     /** Lazily built per-class partition (see classColumns()). */
     struct Partition
@@ -302,7 +313,12 @@ class TraceStore
         size_t builtFor = SIZE_MAX; //!< opA_.size() when built
         std::array<ClassColumns, numInstClasses> cols;
     };
-    mutable std::unique_ptr<Partition> part_;
+    /// One process-wide mutex guards creation and (re)build of every
+    /// store's partition cache (see classColumns() in the .cc for why
+    /// sharing is free); class-scope so the guarded_by relation is
+    /// visible to the capability analysis.
+    inline static Mutex partMu;
+    mutable std::unique_ptr<Partition> part_ MEMO_GUARDED_BY(partMu);
 };
 
 } // namespace memo

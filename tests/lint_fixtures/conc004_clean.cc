@@ -1,0 +1,18 @@
+// Fixture: every sibling of the mutex is annotated or exempt —
+// memo-CONC-004 stays quiet.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/annotations.hh"
+
+class Annotated
+{
+  private:
+    memo::Mutex m;
+    int count MEMO_GUARDED_BY(m) = 0;
+    std::atomic<bool> stop{false}; // atomics are exempt
+    std::condition_variable cv;    // waiters are exempt
+    const int capacity = 8;        // immutable state is exempt
+    int scratch MEMO_UNGUARDED;    // documented access contract
+};

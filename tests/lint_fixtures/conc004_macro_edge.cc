@@ -1,0 +1,30 @@
+// Fixture: capability macros survive edge placements — qualified
+// lock types, MEMO_PT_GUARDED_BY, this-> qualified guards — and
+// the model still sees through them to an unannotated sibling.
+#include <memory>
+#include <mutex>
+
+#include "core/annotations.hh"
+
+class Edge
+{
+  public:
+    int
+    load() const
+    {
+        memo::MutexLock lk(this->m);
+        return *cell + raw;
+    }
+
+  private:
+    mutable memo::Mutex m;
+    std::unique_ptr<int> cell MEMO_PT_GUARDED_BY(m);
+    int raw MEMO_GUARDED_BY(m) = 0;
+};
+
+class EdgeMiss
+{
+  private:
+    memo::Mutex m;
+    std::unique_ptr<int> leaked; // EXPECT: memo-CONC-004
+};

@@ -1,0 +1,11 @@
+// Fixture: a justified NOLINT silences memo-CONC-004.
+#include <mutex>
+
+class Latch
+{
+  private:
+    std::mutex m;
+    // Written once before the workers start (hypothetical
+    // justification for the fixture).
+    int threshold = 0; // NOLINT(memo-CONC-004)
+};

@@ -1,0 +1,14 @@
+// Fixture: memo-CONC-004 fires on a mutex-bearing class whose
+// mutable sibling field carries no capability annotation.
+#include <mutex>
+#include <vector>
+
+class Queue
+{
+  public:
+    void push(int v);
+
+  private:
+    std::mutex m;
+    std::vector<int> items; // EXPECT: memo-CONC-004
+};

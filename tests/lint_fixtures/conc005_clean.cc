@@ -1,0 +1,29 @@
+// Fixture: a scoped lock in the body or MEMO_REQUIRES on the
+// declaration satisfies memo-CONC-005.
+#include <mutex>
+
+#include "core/annotations.hh"
+
+class Account
+{
+  public:
+    void
+    deposit(int v)
+    {
+        memo::MutexLock lk(m);
+        balance += v;
+    }
+
+    int totalUnlocked() const MEMO_REQUIRES(m);
+
+  private:
+    mutable memo::Mutex m;
+    int balance MEMO_GUARDED_BY(m) = 0;
+    int fees MEMO_GUARDED_BY(m) = 0;
+};
+
+int
+Account::totalUnlocked() const
+{
+    return balance + fees;
+}

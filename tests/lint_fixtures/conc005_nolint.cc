@@ -1,0 +1,20 @@
+// Fixture: a justified NOLINT silences memo-CONC-005.
+#include <mutex>
+
+#include "core/annotations.hh"
+
+class Gauge
+{
+  public:
+    int
+    relaxedPeek() const
+    {
+        // Racy display-only read tolerated by the (hypothetical)
+        // caller; the Clang analysis would want a lock here too.
+        return level; // NOLINT(memo-CONC-005)
+    }
+
+  private:
+    mutable std::mutex m;
+    int level MEMO_GUARDED_BY(m) = 0;
+};

@@ -1,0 +1,28 @@
+// Fixture: memo-CONC-005 fires when a method touches a guarded
+// field without taking a scoped lock or requiring the mutex —
+// both in-class and out-of-line definitions.
+#include <mutex>
+
+#include "core/annotations.hh"
+
+class Counter
+{
+  public:
+    int
+    peek() const
+    {
+        return value; // EXPECT: memo-CONC-005
+    }
+
+    void bump();
+
+  private:
+    mutable std::mutex m;
+    int value MEMO_GUARDED_BY(m) = 0;
+};
+
+void
+Counter::bump()
+{
+    value++; // EXPECT: memo-CONC-005
+}

@@ -1,0 +1,19 @@
+// LINT-AS: src/trace/fixture_io.cc
+// Fixture: checked I/O results keep memo-IO-001 quiet, and
+// fs::rename reports through its error_code parameter.
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace fs = std::filesystem;
+
+bool
+readBlock(std::FILE *f, char *buf)
+{
+    if (std::fread(buf, 1, 64, f) != 64)
+        return false;
+    long pos = std::ftell(f);
+    std::error_code ec;
+    fs::rename("a.tmp", "a", ec);
+    return !ec && pos >= 0;
+}

@@ -1,0 +1,11 @@
+// LINT-AS: src/trace/fixture_io.cc
+// Fixture: a justified NOLINT silences memo-IO-001.
+#include <cstdio>
+
+void
+bestEffortRestore(const char *from, const char *to)
+{
+    // Advisory rename: a leftover temp file is harmless and the
+    // next write overwrites it (hypothetical justification).
+    rename(from, to); // NOLINT(memo-IO-001)
+}

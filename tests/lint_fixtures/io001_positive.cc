@@ -1,0 +1,11 @@
+// LINT-AS: src/trace/fixture_io.cc
+// Fixture: memo-IO-001 fires on discarded stdio results in the
+// trace disk tier.
+#include <cstdio>
+
+void
+skipHeader(std::FILE *f)
+{
+    fseek(f, 16, 0);              // EXPECT: memo-IO-001
+    std::fread(nullptr, 1, 0, f); // EXPECT: memo-IO-001
+}

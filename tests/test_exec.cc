@@ -239,6 +239,9 @@ TEST(TraceCache, ConcurrentLookupsGenerateOnce)
     exec::TraceCache cache;
     std::atomic<int> calls{0};
     std::vector<std::shared_ptr<const Trace>> got(8);
+    // Deliberately bypasses the pool to hammer one cache key from
+    // unmanaged threads.
+    // NOLINTNEXTLINE(memo-CONC-001)
     std::vector<std::thread> threads;
     for (int t = 0; t < 8; t++) {
         threads.emplace_back([&, t] {

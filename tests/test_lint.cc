@@ -6,6 +6,7 @@
  */
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -163,9 +164,9 @@ TEST(LintRules, CatalogIsConsistent)
 {
     for (const RuleInfo &r : ruleCatalog()) {
         EXPECT_EQ(findRule(r.id), &r);
-        // DET and CONC are the hard determinism contract: errors.
+        // DET, CONC and IO are the hard contracts: errors.
         std::string fam = r.family;
-        if (fam == "DET" || fam == "CONC") {
+        if (fam == "DET" || fam == "CONC" || fam == "IO") {
             EXPECT_EQ(r.severity, Severity::Error) << r.id;
         }
     }
@@ -288,6 +289,63 @@ TEST(LintRules, Api002ChecksToolRegistration)
     EXPECT_TRUE(analyzeFile("int main() { return 0; }\n", opt).empty());
 }
 
+TEST(LintRules, Conc004RequiresAnnotatedSiblings)
+{
+    std::string bad = "class C {\n"
+                      "    std::mutex m;\n"
+                      "    int v = 0;\n"
+                      "};\n";
+    EXPECT_EQ(ruleIdsOf(bad),
+              (std::vector<std::string>{"memo-CONC-004"}));
+    // Annotated, atomic, const and explicitly-unguarded siblings are
+    // all satisfied; a class without a mutex is out of scope.
+    std::string ok = "class C {\n"
+                     "    memo::Mutex m;\n"
+                     "    int v MEMO_GUARDED_BY(m) = 0;\n"
+                     "    std::atomic<int> hits{0};\n"
+                     "    const int ways = 4;\n"
+                     "    std::vector<int> cold MEMO_UNGUARDED;\n"
+                     "};\n";
+    EXPECT_TRUE(ruleIdsOf(ok).empty());
+    EXPECT_TRUE(ruleIdsOf("class C {\n    int v = 0;\n};\n").empty());
+}
+
+TEST(LintRules, Conc005GuardedFieldNeedsLockOrRequires)
+{
+    std::string bad = "class C {\n"
+                      "    memo::Mutex m;\n"
+                      "    int v MEMO_GUARDED_BY(m) = 0;\n"
+                      "    int peek() const { return v; }\n"
+                      "};\n";
+    EXPECT_EQ(ruleIdsOf(bad),
+              (std::vector<std::string>{"memo-CONC-005"}));
+    // A scoped lock in the body or a MEMO_REQUIRES contract on the
+    // declaration both discharge the obligation.
+    std::string ok = "class C {\n"
+                     "    memo::Mutex m;\n"
+                     "    int v MEMO_GUARDED_BY(m) = 0;\n"
+                     "    int get() { MutexLock lk(m); return v; }\n"
+                     "    int raw() const MEMO_REQUIRES(m) "
+                     "{ return v; }\n"
+                     "};\n";
+    EXPECT_TRUE(ruleIdsOf(ok).empty());
+}
+
+TEST(LintRules, Io001OnlyInTraceAndOnlyDiscarded)
+{
+    std::string src = "void f(FILE *fp) { fseek(fp, 0, 0); }\n";
+    EXPECT_EQ(ruleIdsOf(src, "src/trace/spill.cc"),
+              (std::vector<std::string>{"memo-IO-001"}));
+    // Path-scoped: the same code outside src/trace is not the spill
+    // tier's contract.
+    EXPECT_TRUE(ruleIdsOf(src, "src/core/aligned.cc").empty());
+    std::string checked = "void f(FILE *fp) {\n"
+                          "    if (fseek(fp, 0, 0) != 0)\n"
+                          "        fail();\n"
+                          "}\n";
+    EXPECT_TRUE(ruleIdsOf(checked, "src/trace/spill.cc").empty());
+}
+
 TEST(LintRules, LintAsOverride)
 {
     EXPECT_EQ(lintAsOverride("// LINT-AS: src/exec/x.cc\nint a;"),
@@ -341,21 +399,119 @@ TEST(LintBaseline, FilterAbsorbsUpToCount)
     EXPECT_EQ(fresh[0].message, "two");
 }
 
-TEST(LintBaseline, PolicyRejectsDetAndConcEntries)
+TEST(LintBaseline, PolicyRejectsErrorSeverityEntries)
 {
-    // The ratchet may tolerate FP/API debt, never DET/CONC: those
-    // must be fixed or explicitly NOLINT-justified in the code.
+    // The ratchet may tolerate FP/API debt, never the error-severity
+    // families (DET, CONC, IO): those must be fixed or explicitly
+    // NOLINT-justified in the code.
     Baseline b;
     std::string err;
     ASSERT_TRUE(b.parse("{\"version\": 1, \"findings\": ["
                         "{\"rule\": \"memo-DET-001\", "
                         "\"file\": \"src/a.cc\", \"count\": 1},"
+                        "{\"rule\": \"memo-CONC-004\", "
+                        "\"file\": \"src/c.cc\", \"count\": 1},"
+                        "{\"rule\": \"memo-IO-001\", "
+                        "\"file\": \"src/d.cc\", \"count\": 1},"
                         "{\"rule\": \"memo-API-001\", "
                         "\"file\": \"src/b.cc\", \"count\": 1}]}",
                         err));
     std::vector<std::string> bad = b.errorSeverityEntries();
-    ASSERT_EQ(bad.size(), 1u);
-    EXPECT_NE(bad[0].find("memo-DET-001"), std::string::npos);
+    ASSERT_EQ(bad.size(), 3u);
+    std::string joined;
+    for (const std::string &e : bad)
+        joined += e + "\n";
+    EXPECT_NE(joined.find("memo-DET-001"), std::string::npos);
+    EXPECT_NE(joined.find("memo-CONC-004"), std::string::npos);
+    EXPECT_NE(joined.find("memo-IO-001"), std::string::npos);
+}
+
+TEST(LintBaseline, StaleEntriesAreDetected)
+{
+    const RuleInfo *fp = findRule("memo-FP-001");
+    std::vector<Finding> fs = {{fp, "src/a.cc", 1, 1, "one"}};
+    Baseline b;
+    std::string err;
+    ASSERT_TRUE(b.parse("{\"version\": 1, \"findings\": ["
+                        "{\"rule\": \"memo-FP-001\", "
+                        "\"file\": \"src/a.cc\", \"count\": 3},"
+                        "{\"rule\": \"memo-API-001\", "
+                        "\"file\": \"src/b.cc\", \"count\": 1}]}",
+                        err));
+    // a.cc tolerates 3 but only 1 remains; b.cc's finding is gone
+    // entirely. Both are stale headroom.
+    std::vector<std::string> stale = b.staleEntries(fs);
+    ASSERT_EQ(stale.size(), 2u);
+    std::string joined = stale[0] + "\n" + stale[1];
+    EXPECT_NE(joined.find("tolerates 3, found 1"), std::string::npos);
+    EXPECT_NE(joined.find("tolerates 1, found 0"), std::string::npos);
+
+    // An exactly-spent baseline is not stale.
+    Baseline exact;
+    ASSERT_TRUE(exact.parse("{\"version\": 1, \"findings\": ["
+                            "{\"rule\": \"memo-FP-001\", "
+                            "\"file\": \"src/a.cc\", \"count\": 1}]}",
+                            err));
+    EXPECT_TRUE(exact.staleEntries(fs).empty());
+}
+
+// ------------------------------------------------------- driver ratchet
+
+TEST(LintDriver, StaleBaselineFailsUntilUpdated)
+{
+    namespace fs = std::filesystem;
+    fs::path dir =
+        fs::temp_directory_path() / "memo_lint_ratchet_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir / "src");
+    {
+        std::ofstream f(dir / "src" / "w.cc");
+        f << "bool eq(double a, double b) { return a == b; }\n";
+    }
+    {
+        std::ofstream f(dir / "bl.json");
+        f << "{\"version\": 1, \"findings\": ["
+             "{\"rule\": \"memo-FP-001\", "
+             "\"file\": \"src/w.cc\", \"count\": 5}]}";
+    }
+
+    DriverConfig cfg;
+    cfg.root = (dir).string();
+    cfg.paths = {(dir / "src").string()};
+    cfg.baselinePath = (dir / "bl.json").string();
+
+    // 5 tolerated but only 1 produced: the run must fail and point
+    // at --update-baseline.
+    std::ostringstream out1, err1;
+    EXPECT_EQ(runLint(cfg, out1, err1), 1);
+    EXPECT_NE(err1.str().find("stale baseline"), std::string::npos);
+    EXPECT_NE(err1.str().find("--update-baseline"),
+              std::string::npos);
+
+    // --update-baseline shrinks the ratchet (warnings only) ...
+    DriverConfig upd = cfg;
+    upd.baselinePath.clear();
+    upd.updateBaselinePath = (dir / "bl.json").string();
+    std::ostringstream out2, err2;
+    EXPECT_EQ(runLint(upd, out2, err2), 0) << err2.str();
+
+    // ... after which the ordinary baselined run is clean again.
+    std::ostringstream out3, err3;
+    EXPECT_EQ(runLint(cfg, out3, err3), 0) << err3.str();
+
+    // An error-severity finding can never be absorbed by the update
+    // path: it must be fixed in the code.
+    {
+        std::ofstream f(dir / "src" / "e.cc");
+        f << "int f() { static int n = 0; return ++n; }\n";
+    }
+    std::ostringstream out4, err4;
+    EXPECT_EQ(runLint(upd, out4, err4), 1);
+    EXPECT_NE(err4.str().find("refusing to update baseline"),
+              std::string::npos);
+    EXPECT_NE(err4.str().find("memo-CONC-003"), std::string::npos);
+
+    fs::remove_all(dir);
 }
 
 // ------------------------------------------------------------- emitters
@@ -393,7 +549,8 @@ TEST(LintSelfRun, RepoMatchesCommittedBaseline)
     DriverConfig cfg;
     cfg.root = MEMO_SOURCE_DIR;
     cfg.paths = {std::string(MEMO_SOURCE_DIR) + "/src",
-                 std::string(MEMO_SOURCE_DIR) + "/tools"};
+                 std::string(MEMO_SOURCE_DIR) + "/tools",
+                 std::string(MEMO_SOURCE_DIR) + "/tests"};
     cfg.baselinePath =
         std::string(MEMO_SOURCE_DIR) + "/lint-baseline.json";
     std::ostringstream out, err;

@@ -112,6 +112,9 @@ TEST(SciSemantics, TomcatvRelaxationReducesResidual)
     for (const auto &inst : trace) {
         if (inst.cls != InstClass::FpMul)
             continue;
+        // Exact compare against the 0.45 literal the workload
+        // itself multiplies by.
+        // NOLINTNEXTLINE(memo-FP-001)
         if (fpFromBits(inst.a) == 0.45) // the relaxation-weight muls
             w_values.push_back(std::fabs(fpFromBits(inst.b)));
     }

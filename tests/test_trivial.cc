@@ -142,6 +142,9 @@ TEST(TrivialResults, MatchNativeArithmetic)
             if (auto t = trivialFpMul(a, b, true)) {
                 EXPECT_EQ(t->result, a * b) << a << "*" << b;
             }
+            // Exact compare against literal zero guards the
+            // division below.
+            // NOLINTNEXTLINE(memo-FP-001)
             if (b != 0.0) {
                 if (auto t = trivialFpDiv(a, b, true)) {
                     EXPECT_EQ(t->result, a / b) << a << "/" << b;

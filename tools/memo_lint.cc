@@ -9,13 +9,15 @@
  *     memo-lint --format sarif src > lint.sarif
  *     memo-lint --baseline lint-baseline.json src tools
  *     memo-lint --write-baseline lint-baseline.json src tools
+ *     memo-lint --update-baseline lint-baseline.json src tools
  *     memo-lint --self-test tests/lint_fixtures \
  *               --baseline lint-baseline.json src tools
  *     memo-lint --list-rules
  *
  * Exit status: 0 clean (no findings beyond the baseline and, when
- * requested, a passing fixture self-test), 1 findings or self-test
- * failure, 2 usage/configuration error.
+ * requested, a passing fixture self-test), 1 findings, self-test
+ * failure, or a baseline policy/staleness violation, 2
+ * usage/configuration error.
  */
 
 #include <cstring>
@@ -39,6 +41,8 @@ usage(std::ostream &os)
           "FILE\n"
           "  --write-baseline FILE  record current findings and "
           "exit\n"
+          "  --update-baseline FILE shrink a stale baseline; "
+          "refuses error-severity findings\n"
           "  --format FMT           text | json | sarif "
           "(default text)\n"
           "  --self-test DIR        verify EXPECT annotations of "
@@ -72,6 +76,8 @@ main(int argc, char **argv)
             cfg.baselinePath = value("--baseline");
         } else if (arg == "--write-baseline") {
             cfg.writeBaselinePath = value("--write-baseline");
+        } else if (arg == "--update-baseline") {
+            cfg.updateBaselinePath = value("--update-baseline");
         } else if (arg == "--format") {
             cfg.format = value("--format");
         } else if (arg == "--self-test") {
