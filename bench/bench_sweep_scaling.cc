@@ -139,28 +139,6 @@ phaseRecord(const std::string &scenario, unsigned jobs, double sec)
     return r;
 }
 
-/**
- * Trace-cache memory trajectory, stamped on every sweep record (not
- * just trace generation) so resident/spilled bytes are trackable per
- * phase across PRs. The disk-tier counters are zero unless a spill
- * directory is configured (MEMO_TRACE_SPILL_DIR or
- * --trace-spill-dir on the tools).
- */
-void
-stampCacheExtras(prof::BenchRecord &r)
-{
-    const auto &tc = exec::TraceCache::instance();
-    constexpr double mb = 1024.0 * 1024.0;
-    r.extra["traceCacheResidentMb"] =
-        static_cast<double>(tc.residentBytes()) / mb;
-    r.extra["traceCacheSpilledMb"] =
-        static_cast<double>(tc.spilledBytes()) / mb;
-    r.extra["traceCacheSharedMb"] =
-        static_cast<double>(tc.sharedBytes()) / mb;
-    r.extra["traceCacheSpills"] = static_cast<double>(tc.spills());
-    r.extra["traceCacheAdmits"] = static_cast<double>(tc.admits());
-}
-
 } // anonymous namespace
 
 int
@@ -224,23 +202,16 @@ main(int argc, char **argv)
 
     prof::BenchRecord gen = phaseRecord("sweep_trace_gen", jobs, gen_s);
     gen.extra["sweepPoints"] = sweep_points;
-    stampCacheExtras(gen);
 
     prof::BenchRecord ser = phaseRecord("sweep_serial", 1, serial_s);
     ser.extra["sweepPoints"] = sweep_points;
     ser.extra["deterministic"] = det ? 1.0 : 0.0;
-    stampCacheExtras(ser);
 
     prof::BenchRecord par = phaseRecord("sweep_parallel", jobs,
                                         parallel_s);
     par.extra["sweepPoints"] = sweep_points;
     par.extra["speedup"] = speedup;
     par.extra["deterministic"] = det ? 1.0 : 0.0;
-    stampCacheExtras(par);
-    // Speedup is bounded by the host: record the thread budget so a
-    // low figure on a small machine isn't read as a regression.
-    par.extra["hardwareThreads"] =
-        static_cast<double>(std::thread::hardware_concurrency());
 
     bench::writeBenchRecords(out_path, {gen, ser, par});
 

@@ -152,6 +152,74 @@ reuseProfile(const Trace &trace, Operation op, unsigned max_distance)
     return ReuseProfile(std::move(hist), cold);
 }
 
+std::vector<ReuseWindow>
+windowedReuse(const Trace &trace, Operation op, uint64_t window,
+              unsigned short_distance)
+{
+    if (window == 0)
+        window = 1;
+    InstClass want = instClassOf(op);
+    bool commutative = isCommutative(op);
+
+    // Presented access stream: position advances for every operation
+    // of the class (trivial included), aligning window indices with
+    // the table's accessStamp-based PhaseWindows.
+    struct Access
+    {
+        uint64_t a, b;
+        bool trivial;
+    };
+    std::vector<Access> accesses;
+    for (const Instruction &inst : trace) {
+        if (inst.cls != want)
+            continue;
+        uint64_t a = inst.a, b = isUnary(op) ? 0 : inst.b;
+        bool triv = isTrivial(op, inst.a, inst.b);
+        if (!triv && commutative && b < a)
+            std::swap(a, b);
+        accesses.push_back({a, b, triv});
+    }
+
+    std::vector<ReuseWindow> out(accesses.empty()
+                                     ? 0
+                                     : (accesses.size() - 1) / window +
+                                           1);
+    Fenwick live(accesses.size());
+    std::unordered_map<std::pair<uint64_t, uint64_t>, size_t, PairHash>
+        last;
+    last.reserve(accesses.size() / 4 + 16);
+
+    size_t nontrivial = 0; // Fenwick position of non-trivial accesses
+    for (size_t p = 0; p < accesses.size(); p++) {
+        ReuseWindow &w = out[p / window];
+        w.accesses++;
+        if (accesses[p].trivial) {
+            w.trivial++;
+            continue;
+        }
+        std::pair<uint64_t, uint64_t> key{accesses[p].a,
+                                          accesses[p].b};
+        size_t t = nontrivial++;
+        auto it = last.find(key);
+        if (it == last.end()) {
+            w.cold++;
+        } else {
+            size_t prev = it->second;
+            // Stack distance is the distinct keys strictly between
+            // the touches, plus one — the reuseProfile() convention.
+            int64_t between = live.sum(t) - live.sum(prev);
+            if (static_cast<uint64_t>(between) + 1 <= short_distance)
+                w.shortReuse++;
+            else
+                w.longReuse++;
+            live.add(prev, -1);
+        }
+        live.add(t, +1);
+        last[key] = t;
+    }
+    return out;
+}
+
 std::vector<HotPair>
 hottestPairs(const Trace &trace, Operation op, size_t k)
 {

@@ -84,6 +84,34 @@ struct HotPair
 std::vector<HotPair> hottestPairs(const Trace &trace, Operation op,
                                   size_t k = 10);
 
+/**
+ * Reuse summary of one window of an operand stream (the phase
+ * engine's windowed counterpart of ReuseProfile; see core/phase.hh
+ * for the window semantics).
+ */
+struct ReuseWindow
+{
+    uint64_t accesses = 0;   //!< operations presented in the window
+    uint64_t trivial = 0;    //!< of which trivial (excluded below)
+    uint64_t cold = 0;       //!< first-touch operand pairs
+    uint64_t shortReuse = 0; //!< stack distance <= the short threshold
+    uint64_t longReuse = 0;  //!< finite distance > the short threshold
+};
+
+/**
+ * Per-window reuse-distance profile of @p op's operand stream in
+ * @p trace. Windows slice the *presented* access stream (trivial
+ * operations included in position and in `accesses`, matching
+ * MemoTable::accessStamp), so window k here covers the same accesses
+ * as PhaseWindow k of a table replaying the same trace with the same
+ * @p window. Distances use the same canonicalization as
+ * reuseProfile(); a distance <= @p short_distance counts as
+ * shortReuse (it would hit any LRU table with that many entries).
+ */
+std::vector<ReuseWindow> windowedReuse(const Trace &trace, Operation op,
+                                       uint64_t window,
+                                       unsigned short_distance = 32);
+
 } // namespace memo
 
 #endif // MEMO_ANALYSIS_REUSE_HH

@@ -1,5 +1,6 @@
 #include "memo_table.hh"
 
+#include <atomic>
 #include <bit>
 #include <cassert>
 
@@ -50,7 +51,61 @@ entryParity(uint64_t tag_a, uint64_t tag_b, uint64_t value)
            1;
 }
 
+/** setPhaseBoundaryFault() state; read once per boundary decision. */
+std::atomic<bool> phase_boundary_fault{false};
+
 } // anonymous namespace
+
+void
+setPhaseBoundaryFault(bool enabled)
+{
+    phase_boundary_fault.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t
+MemoTable::phaseNextBoundary() const
+{
+    // Injected bug: see the boundary one access late, shifting every
+    // window's covered range — the phase differential tests prove
+    // their scalar reference accumulator catches this.
+    uint64_t fault =
+        phase_boundary_fault.load(std::memory_order_relaxed) ? 1 : 0;
+    return phase_->flushedThrough + phase_->window() + fault;
+}
+
+void
+MemoTable::phaseFlush()
+{
+    uint64_t stamp = accessStamp();
+    uint64_t len = stamp - phase_->flushedThrough;
+    if (len == 0)
+        return;
+    PhaseWindow row;
+    row.start = phase_->flushedThrough;
+    row.length = len;
+    row.stats = statsDelta(stats_, phase_->last);
+    row.occupancy = validEntries();
+    unsigned sets = cfg.infinite ? 0 : cfg.sets();
+    if (uint32_t *occ = phase_->push(row, sets)) {
+        for (unsigned s = 0; s < sets; s++) {
+            const Entry *set = &entries[static_cast<size_t>(s) *
+                                        cfg.ways];
+            uint32_t c = 0;
+            for (unsigned w = 0; w < cfg.ways; w++)
+                c += set[w].valid;
+            occ[s] = c;
+        }
+    }
+    phase_->last = stats_;
+    phase_->flushedThrough = stamp;
+}
+
+void
+MemoTable::finalizePhases()
+{
+    if (phase_)
+        phaseFlush();
+}
 
 bool
 MemoTable::injectBitFlip(unsigned set, unsigned way, unsigned bit)
@@ -296,6 +351,13 @@ MemoTable::victimEntry(uint64_t index)
 std::optional<uint64_t>
 MemoTable::lookup(uint64_t a_bits, uint64_t b_bits)
 {
+    // Lazy window close at access start (core/phase.hh): the
+    // previous access — including the update() a miss triggers — is
+    // fully accounted before its window's row is cut, matching the
+    // batched path's boundary placement bit for bit.
+    if (phase_ && accessStamp() == phaseNextBoundary())
+        phaseFlush();
+
     uint64_t trivial_result;
     if (cfg.trivialMode != TrivialMode::CacheAll &&
         checkTrivial(a_bits, b_bits, trivial_result)) {
@@ -504,92 +566,216 @@ MemoTable::probeBlock(const uint64_t *a_bits, const uint64_t *b_bits,
     uint64_t n_insertions = 0, n_evictions = 0;
     uint64_t t = tick;
 
-    for (size_t i = 0; i < n; i++) {
-        uint64_t a = a_bits[i];
-        uint64_t b = b_bits[i];
+    // Phase-window state (core/phase.hh): the running access stamp
+    // and the stamp of the next window close. Every iteration of the
+    // hot loop consumes exactly one access, so the block strip-mines
+    // into segments ending at window boundaries — the per-access path
+    // carries no phase bookkeeping at all, and the close is a cold
+    // per-window step that folds the registers back first so stats_
+    // is current for the row's deltas.
+    const bool phase_on = phase_ != nullptr;
+    const uint64_t phase_w = phase_on ? phase_->window() : 0;
+    uint64_t s = stats_.lookups + stats_.trivialBypassed;
+    uint64_t nb = phase_on ? phaseNextBoundary() : 0;
 
-        // Branch-free trivial pre-filter: a few integer compares
-        // decide whether the operands can possibly be trivial (a
-        // zero / one / extended-set constant is involved). Only those
-        // rare candidates take the full detector, which remains the
-        // single source of truth; everything else skips it on one
-        // well-predicted branch. NaN/inf operands need no test here:
-        // the detectors classify them non-trivial anyway.
-        bool rare = false;
-        if (filter_trivial) {
-            if (qr_int) {
-                rare = (a == 0) | (b == 0) | (a == 1) | (b == 1);
-                if (ext)
-                    rare |= (a == ~uint64_t{0}) | (b == ~uint64_t{0});
-            } else if (qr_fpmul) {
-                rare = ((a << 1) == 0) | ((b << 1) == 0) |
-                       (a == kOneBits) | (b == kOneBits);
-                if (ext)
-                    rare |= (a == kNegOneBits) | (b == kNegOneBits);
-            } else if (qr_fpdiv) {
-                // b == ±0 / NaN / inf are non-trivial; a == b (the
-                // ext DivBySelf test) compares equal as doubles iff
-                // the bits match, zeros and NaNs having been ruled
-                // out by the detector itself.
-                rare = ((a << 1) == 0) | (b == kOneBits);
-                if (ext)
-                    rare |= (b == kNegOneBits) | (a == b);
-            } else if (qr_fpsqrt) {
-                rare = ext & (((a << 1) == 0) | (a == kOneBits));
+    size_t i = 0;
+    while (i < n) {
+        size_t stop = n;
+        if (phase_on) {
+            if (s == nb) {
+                tick = t;
+                stats_.trivialBypassed += n_bypassed;
+                stats_.lookups += n_lookups;
+                stats_.trivialHits += n_trivial_hits;
+                stats_.hits += n_hits;
+                stats_.misses += n_misses;
+                stats_.parityMisses += n_parity;
+                stats_.insertions += n_insertions;
+                stats_.evictions += n_evictions;
+                n_bypassed = n_lookups = n_trivial_hits = 0;
+                n_hits = n_misses = n_parity = 0;
+                n_insertions = n_evictions = 0;
+                phaseFlush();
+                nb += phase_w;
             }
+            // Segment length: to the boundary or the block end, whichever
+            // is nearer. The close uses exact equality, so when s has
+            // already passed nb (only reachable under the injected
+            // boundary fault) the unsigned underflow makes room huge and
+            // the old no-further-close semantics carry over unchanged.
+            uint64_t room = nb - s;
+            uint64_t left = n - i;
+            uint64_t seg = room > left ? left : room;
+            stop = i + static_cast<size_t>(seg);
+            s += seg;
         }
+        for (; i < stop; i++) {
+            uint64_t a = a_bits[i];
+            uint64_t b = b_bits[i];
 
-        uint64_t trivial_result;
-        if (rare && checkTrivial(a, b, trivial_result)) {
-            if (bypass_trivial) {
-                // Filtered before the table; update() skips it too.
-                n_bypassed++;
-            } else {
-                // Integrated: the in-table detector answers.
-                n_lookups++;
-                n_trivial_hits++;
-            }
-            continue;
-        }
-
-        n_lookups++;
-        if (mant && !taggable(a, b)) {
-            n_misses++; // update() skips untaggable operands
-            continue;
-        }
-
-        // makeTag() is the identity outside mantissa mode; the NaN
-        // order guard (commutableBits) only ever bites for FpMul.
-        uint64_t tag_a, tag_b;
-        if (mant) {
-            tag_a = makeTag(a);
-            tag_b = unary ? 0 : makeTag(b);
-        } else {
-            tag_a = a;
-            tag_b = unary ? 0 : b;
-        }
-        bool swap_ok = commutative;
-        if (qr_fpmul)
-            swap_ok = commutative &&
-                      !(fpIsNaNBits(a) && fpIsNaNBits(b));
-
-        if (infinite) {
-            InfKey key{tag_a, tag_b};
-            if (swap_ok && key.b < key.a)
-                std::swap(key.a, key.b);
-            auto it = infTable.find(key);
-            bool present = it != infTable.end();
-            if (present) {
-                uint64_t result = it->second.value;
-                if (!mant || reconstruct(a, b, it->second.value,
-                                         it->second.delta, result)) {
-                    n_hits++;
-                    continue;
+            // Branch-free trivial pre-filter: a few integer compares
+            // decide whether the operands can possibly be trivial (a
+            // zero / one / extended-set constant is involved). Only those
+            // rare candidates take the full detector, which remains the
+            // single source of truth; everything else skips it on one
+            // well-predicted branch. NaN/inf operands need no test here:
+            // the detectors classify them non-trivial anyway.
+            bool rare = false;
+            if (filter_trivial) {
+                if (qr_int) {
+                    rare = (a == 0) | (b == 0) | (a == 1) | (b == 1);
+                    if (ext)
+                        rare |= (a == ~uint64_t{0}) | (b == ~uint64_t{0});
+                } else if (qr_fpmul) {
+                    rare = ((a << 1) == 0) | ((b << 1) == 0) |
+                           (a == kOneBits) | (b == kOneBits);
+                    if (ext)
+                        rare |= (a == kNegOneBits) | (b == kNegOneBits);
+                } else if (qr_fpdiv) {
+                    // b == ±0 / NaN / inf are non-trivial; a == b (the
+                    // ext DivBySelf test) compares equal as doubles iff
+                    // the bits match, zeros and NaNs having been ruled
+                    // out by the detector itself.
+                    rare = ((a << 1) == 0) | (b == kOneBits);
+                    if (ext)
+                        rare |= (b == kNegOneBits) | (a == b);
+                } else if (qr_fpsqrt) {
+                    rare = ext & (((a << 1) == 0) | (a == kOneBits));
                 }
-                // Reconstruct failed: a miss, then update() rewrites
-                // the existing entry in place (no insertion counted).
             }
-            n_misses++;
+
+            uint64_t trivial_result;
+            if (rare && checkTrivial(a, b, trivial_result)) {
+                if (bypass_trivial) {
+                    // Filtered before the table; update() skips it too.
+                    n_bypassed++;
+                } else {
+                    // Integrated: the in-table detector answers.
+                    n_lookups++;
+                    n_trivial_hits++;
+                }
+                continue;
+            }
+
+            n_lookups++;
+            if (mant && !taggable(a, b)) {
+                n_misses++; // update() skips untaggable operands
+                continue;
+            }
+
+            // makeTag() is the identity outside mantissa mode; the NaN
+            // order guard (commutableBits) only ever bites for FpMul.
+            uint64_t tag_a, tag_b;
+            if (mant) {
+                tag_a = makeTag(a);
+                tag_b = unary ? 0 : makeTag(b);
+            } else {
+                tag_a = a;
+                tag_b = unary ? 0 : b;
+            }
+            bool swap_ok = commutative;
+            if (qr_fpmul)
+                swap_ok = commutative &&
+                          !(fpIsNaNBits(a) && fpIsNaNBits(b));
+
+            if (infinite) {
+                InfKey key{tag_a, tag_b};
+                if (swap_ok && key.b < key.a)
+                    std::swap(key.a, key.b);
+                auto it = infTable.find(key);
+                bool present = it != infTable.end();
+                if (present) {
+                    uint64_t result = it->second.value;
+                    if (!mant || reconstruct(a, b, it->second.value,
+                                             it->second.delta, result)) {
+                        n_hits++;
+                        continue;
+                    }
+                    // Reconstruct failed: a miss, then update() rewrites
+                    // the existing entry in place (no insertion counted).
+                }
+                n_misses++;
+                uint64_t value = result_bits[i];
+                int8_t delta = 0;
+                if (mant) {
+                    uint64_t frac;
+                    if (!derivePayload(a, b, result_bits[i], frac, delta))
+                        continue;
+                    value = frac;
+                }
+                if (present) {
+                    it->second = InfValue{value, delta};
+                } else {
+                    infTable.emplace(key, InfValue{value, delta});
+                    n_insertions++;
+                }
+                continue;
+            }
+
+            uint64_t index;
+            switch (idx_kind) {
+              case IdxInt:
+                index = (a ^ b) & ib_mask;
+                break;
+              case IdxUnary:
+                index = detail::topMantissa(a, ib);
+                break;
+              case IdxSum:
+                index = (detail::topMantissa(a, ib) +
+                         detail::topMantissa(b, ib)) &
+                        ib_mask;
+                break;
+              case IdxXor:
+                index = detail::topMantissa(a, ib) ^
+                        detail::topMantissa(b, ib);
+                break;
+              default:
+                index = 0;
+            }
+
+            // findEntry(), unrolled here over hoisted geometry: the first
+            // way matching in direct or (when allowed) swapped order.
+            Entry *const set = ents + index * n_ways;
+            Entry *e = nullptr;
+            for (unsigned w = 0; w < n_ways; w++) {
+                Entry &c = set[w];
+                if (!c.valid)
+                    continue;
+                if ((c.tagA == tag_a && c.tagB == tag_b) ||
+                    (swap_ok && c.tagA == tag_b && c.tagB == tag_a)) {
+                    e = &c;
+                    break;
+                }
+            }
+            Entry *rewrite = nullptr;
+            if (e) {
+                if (parity &&
+                    entryParity(e->tagA, e->tagB, e->value) != e->parity) {
+                    // Soft error: drop the entry; update() then takes the
+                    // victim path (the slot just freed, or an earlier
+                    // invalid way — same scan as the scalar pair).
+                    e->valid = false;
+                    n_parity++;
+                    n_misses++;
+                } else {
+                    uint64_t result = e->value;
+                    if (mant &&
+                        !reconstruct(a, b, e->value, e->delta, result)) {
+                        n_misses++;
+                        rewrite = e; // update() finds this same entry
+                    } else {
+                        if (lru)
+                            e->tick = ++t;
+                        n_hits++;
+                        continue;
+                    }
+                }
+            } else {
+                n_misses++;
+            }
+
+            // Miss path: install, mirroring update() with the trivial,
+            // taggability and tag computations already done above.
             uint64_t value = result_bits[i];
             int8_t delta = 0;
             if (mant) {
@@ -598,128 +784,48 @@ MemoTable::probeBlock(const uint64_t *a_bits, const uint64_t *b_bits,
                     continue;
                 value = frac;
             }
-            if (present) {
-                it->second = InfValue{value, delta};
-            } else {
-                infTable.emplace(key, InfValue{value, delta});
-                n_insertions++;
-            }
-            continue;
-        }
-
-        uint64_t index;
-        switch (idx_kind) {
-          case IdxInt:
-            index = (a ^ b) & ib_mask;
-            break;
-          case IdxUnary:
-            index = detail::topMantissa(a, ib);
-            break;
-          case IdxSum:
-            index = (detail::topMantissa(a, ib) +
-                     detail::topMantissa(b, ib)) &
-                    ib_mask;
-            break;
-          case IdxXor:
-            index = detail::topMantissa(a, ib) ^
-                    detail::topMantissa(b, ib);
-            break;
-          default:
-            index = 0;
-        }
-
-        // findEntry(), unrolled here over hoisted geometry: the first
-        // way matching in direct or (when allowed) swapped order.
-        Entry *const set = ents + index * n_ways;
-        Entry *e = nullptr;
-        for (unsigned w = 0; w < n_ways; w++) {
-            Entry &c = set[w];
-            if (!c.valid)
+            if (rewrite) {
+                rewrite->value = value;
+                rewrite->delta = delta;
+                rewrite->parity =
+                    entryParity(rewrite->tagA, rewrite->tagB, value);
+                if (lru)
+                    rewrite->tick = ++t;
                 continue;
-            if ((c.tagA == tag_a && c.tagB == tag_b) ||
-                (swap_ok && c.tagA == tag_b && c.tagB == tag_a)) {
-                e = &c;
-                break;
             }
-        }
-        Entry *rewrite = nullptr;
-        if (e) {
-            if (parity &&
-                entryParity(e->tagA, e->tagB, e->value) != e->parity) {
-                // Soft error: drop the entry; update() then takes the
-                // victim path (the slot just freed, or an earlier
-                // invalid way — same scan as the scalar pair).
-                e->valid = false;
-                n_parity++;
-                n_misses++;
-            } else {
-                uint64_t result = e->value;
-                if (mant &&
-                    !reconstruct(a, b, e->value, e->delta, result)) {
-                    n_misses++;
-                    rewrite = e; // update() finds this same entry
+            // victimEntry(), same scan order: first invalid way, else the
+            // policy's choice (the rng is drawn only for a full set).
+            Entry *victim = nullptr;
+            for (unsigned w = 0; w < n_ways; w++) {
+                if (!set[w].valid) {
+                    victim = &set[w];
+                    break;
+                }
+            }
+            if (!victim) {
+                if (random_repl) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    victim = &set[rng % n_ways];
                 } else {
-                    if (lru)
-                        e->tick = ++t;
-                    n_hits++;
-                    continue;
+                    victim = &set[0];
+                    for (unsigned w = 1; w < n_ways; w++) {
+                        if (set[w].tick < victim->tick)
+                            victim = &set[w];
+                    }
                 }
+                n_evictions++;
             }
-        } else {
-            n_misses++;
+            victim->valid = true;
+            victim->tagA = tag_a;
+            victim->tagB = tag_b;
+            victim->value = value;
+            victim->delta = delta;
+            victim->parity = entryParity(tag_a, tag_b, value);
+            victim->tick = ++t;
+            n_insertions++;
         }
-
-        // Miss path: install, mirroring update() with the trivial,
-        // taggability and tag computations already done above.
-        uint64_t value = result_bits[i];
-        int8_t delta = 0;
-        if (mant) {
-            uint64_t frac;
-            if (!derivePayload(a, b, result_bits[i], frac, delta))
-                continue;
-            value = frac;
-        }
-        if (rewrite) {
-            rewrite->value = value;
-            rewrite->delta = delta;
-            rewrite->parity =
-                entryParity(rewrite->tagA, rewrite->tagB, value);
-            if (lru)
-                rewrite->tick = ++t;
-            continue;
-        }
-        // victimEntry(), same scan order: first invalid way, else the
-        // policy's choice (the rng is drawn only for a full set).
-        Entry *victim = nullptr;
-        for (unsigned w = 0; w < n_ways; w++) {
-            if (!set[w].valid) {
-                victim = &set[w];
-                break;
-            }
-        }
-        if (!victim) {
-            if (random_repl) {
-                rng ^= rng << 13;
-                rng ^= rng >> 7;
-                rng ^= rng << 17;
-                victim = &set[rng % n_ways];
-            } else {
-                victim = &set[0];
-                for (unsigned w = 1; w < n_ways; w++) {
-                    if (set[w].tick < victim->tick)
-                        victim = &set[w];
-                }
-            }
-            n_evictions++;
-        }
-        victim->valid = true;
-        victim->tagA = tag_a;
-        victim->tagB = tag_b;
-        victim->value = value;
-        victim->delta = delta;
-        victim->parity = entryParity(tag_a, tag_b, value);
-        victim->tick = ++t;
-        n_insertions++;
     }
 
     tick = t;

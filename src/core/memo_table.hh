@@ -33,6 +33,7 @@
 #include "core/config.hh"
 #include "core/hooks.hh"
 #include "core/op.hh"
+#include "core/phase.hh"
 #include "core/stats.hh"
 
 namespace memo
@@ -137,6 +138,39 @@ class MemoTable
     TableHooks *hooks() const { return hooks_; }
 
     /**
+     * Attach (or with nullptr detach) a phase accumulator; the
+     * table then closes one PhaseWindow row into it per
+     * @ref PhaseAccum::window accesses (see core/phase.hh for the
+     * boundary rule). The accumulator is borrowed, not owned, and is
+     * re-based at the current access stamp on attach. Unlike
+     * TableHooks, phase collection keeps the batched probeBlock()
+     * path: boundaries are found with one register compare per
+     * access. Costs one hoisted null test per block when detached.
+     */
+    void
+    setPhaseAccum(PhaseAccum *accum)
+    {
+        phase_ = accum;
+        if (phase_) {
+            phase_->flushedThrough = accessStamp();
+            phase_->last = stats_;
+        }
+    }
+
+    /** The currently attached phase accumulator, or nullptr. */
+    PhaseAccum *phaseAccum() const { return phase_; }
+
+    /**
+     * Close the trailing window into the attached accumulator: first
+     * a pending exactly-full window if the stream stopped on a
+     * boundary (closure is lazy, at the next access's start), else
+     * one partial row covering the accesses since the last close.
+     * No-op when detached or when no access has happened since the
+     * last close. Call once after replay, before reading rows.
+     */
+    void finalizePhases();
+
+    /**
      * Monotone access counter (lookups + trivial bypasses so far),
      * used as the event stamp reported to TableHooks.
      */
@@ -231,6 +265,17 @@ class MemoTable
                      bool allow_swap);
     Entry &victimEntry(uint64_t index);
 
+    /**
+     * Close the window ending at the current access stamp into the
+     * attached accumulator (cold path, once per window). Requires
+     * stats_ to be current — probeBlock() folds its register-local
+     * counters back before calling.
+     */
+    void phaseFlush();
+
+    /** Stamp at which the open window closes (fault-adjustable). */
+    uint64_t phaseNextBoundary() const;
+
     /** Report one transaction to the attached observer, if any. */
     void emitEvent(TableEventKind kind, uint64_t set)
     {
@@ -246,6 +291,7 @@ class MemoTable
     std::unordered_map<InfKey, InfValue, InfKeyHash> infTable;
     MemoStats stats_;
     TableHooks *hooks_ = nullptr;
+    PhaseAccum *phase_ = nullptr;
     uint64_t tick = 0;
     uint64_t rng = 0x2545f4914f6cdd1dULL;
 };

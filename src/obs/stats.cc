@@ -60,6 +60,43 @@ Histogram::serialize() const
     return os.str();
 }
 
+void
+TimeSeries::add(size_t index, uint64_t delta)
+{
+    if (index >= values_.size())
+        values_.resize(index + 1, 0);
+    values_[index] += delta;
+}
+
+void
+TimeSeries::merge(const TimeSeries &other)
+{
+    if (other.values_.size() > values_.size())
+        values_.resize(other.values_.size(), 0);
+    for (size_t i = 0; i < other.values_.size(); i++)
+        values_[i] += other.values_[i];
+}
+
+uint64_t
+TimeSeries::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t v : values_)
+        sum += v;
+    return sum;
+}
+
+std::string
+TimeSeries::serialize() const
+{
+    std::ostringstream os;
+    os << "|";
+    for (uint64_t v : values_)
+        os << v << "|";
+    os << " n=" << values_.size() << " sum=" << total();
+    return os.str();
+}
+
 std::string
 Snapshot::serialize() const
 {
@@ -72,6 +109,8 @@ Snapshot::serialize() const
         os << "gauge " << name << " " << v << "\n";
     for (const auto &[name, h] : histograms) // NOLINT(memo-DET-001)
         os << "hist " << name << " " << h.serialize() << "\n";
+    for (const auto &[name, s] : series) // NOLINT(memo-DET-001)
+        os << "series " << name << " " << s.serialize() << "\n";
     return os.str();
 }
 
@@ -152,6 +191,17 @@ StatsRegistry::mergeHistogram(std::string_view name, const Histogram &h)
         it->second.merge(h);
 }
 
+void
+StatsRegistry::mergeSeries(std::string_view name, const TimeSeries &s)
+{
+    auto &all = localShard().series;
+    auto it = all.find(std::string(name));
+    if (it == all.end())
+        all.emplace(std::string(name), s);
+    else
+        it->second.merge(s);
+}
+
 Snapshot
 StatsRegistry::snapshot() const
 {
@@ -176,6 +226,13 @@ StatsRegistry::snapshot() const
             else
                 it->second.merge(h);
         }
+        for (const auto &[name, s] : shard->series) { // NOLINT(memo-DET-001)
+            auto it = snap.series.find(name);
+            if (it == snap.series.end())
+                snap.series.emplace(name, s);
+            else
+                it->second.merge(s);
+        }
     }
     return snap;
 }
@@ -188,6 +245,7 @@ StatsRegistry::reset()
         shard->counters.clear();
         shard->gauges.clear();
         shard->histograms.clear();
+        shard->series.clear();
     }
 }
 

@@ -101,12 +101,55 @@ class Histogram
     uint64_t sum_ = 0;
 };
 
+/**
+ * A fixed-point time series: one unsigned 64-bit value per window
+ * index over some position axis (for the phase engine, the table
+ * access stream sliced into fixed windows — see core/phase.hh).
+ *
+ * Values are exact integers (callers scale rationals to permille or
+ * similar before recording; no floats, so merged series are
+ * bit-exact). Merging is an element-wise sum with the longer length
+ * winning — commutative and associative, so registry snapshots are
+ * jobs-invariant exactly like counters and histograms.
+ */
+class TimeSeries
+{
+  public:
+    /** An empty series. */
+    TimeSeries() = default;
+
+    /** Add @p delta at window @p index, growing with zeros as needed. */
+    void add(size_t index, uint64_t delta);
+
+    /** Element-wise add another series (lengths may differ). */
+    void merge(const TimeSeries &other);
+
+    /** Per-window values; size() is the highest touched index + 1. */
+    const std::vector<uint64_t> &values() const { return values_; }
+
+    /** Number of windows. */
+    size_t size() const { return values_.size(); }
+
+    /** Sum of all values. */
+    uint64_t total() const;
+
+    /**
+     * Canonical one-line rendering: `|5|0|12| n=3 sum=17` — stable
+     * across platforms, used by Snapshot::serialize.
+     */
+    std::string serialize() const;
+
+  private:
+    std::vector<uint64_t> values_;
+};
+
 /** One merged, name-sorted view of a StatsRegistry. */
 struct Snapshot
 {
     std::map<std::string, uint64_t> counters;   //!< summed counters
     std::map<std::string, uint64_t> gauges;      //!< high-water gauges
     std::map<std::string, Histogram> histograms; //!< merged histograms
+    std::map<std::string, TimeSeries> series;    //!< merged time series
 
     /**
      * Canonical text rendering, one metric per line, sorted by kind
@@ -160,6 +203,9 @@ class StatsRegistry
     /** Merge @p h into histogram @p name (created on first use). */
     void mergeHistogram(std::string_view name, const Histogram &h);
 
+    /** Merge @p s into time series @p name (created on first use). */
+    void mergeSeries(std::string_view name, const TimeSeries &s);
+
     /** Merge every shard into one name-sorted snapshot. */
     Snapshot snapshot() const;
 
@@ -172,6 +218,7 @@ class StatsRegistry
         std::unordered_map<std::string, uint64_t> counters;
         std::unordered_map<std::string, uint64_t> gauges;
         std::unordered_map<std::string, Histogram> histograms;
+        std::unordered_map<std::string, TimeSeries> series;
     };
 
     /** This thread's shard of this registry (registered on first use). */

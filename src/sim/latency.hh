@@ -70,6 +70,20 @@ struct LatencyConfig
 /** Printable preset name. */
 std::string presetName(CpuPreset p);
 
+/**
+ * Cycles one memo hit of @p op saves under @p lat: the unit's full
+ * latency minus the single cycle the table lookup costs (section 2
+ * of the paper; SimResult::memoSaved is the whole-run form). The
+ * phase engine multiplies this by a window's hit delta for its
+ * memo-saved-cycles-per-window series (obs::PhaseProfile).
+ */
+inline uint64_t
+memoSavedPerHit(const LatencyConfig &lat, Operation op)
+{
+    unsigned latency = lat[instClassOf(op)];
+    return latency > 1 ? latency - 1 : 0;
+}
+
 } // namespace memo
 
 #endif // MEMO_SIM_LATENCY_HH

@@ -27,6 +27,7 @@
  * timeline.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +48,7 @@
 #include "exec/thread_pool.hh"
 #include "exec/trace_cache.hh"
 #include "img/generate.hh"
+#include "obs/phase.hh"
 #include "obs/report.hh"
 #include "obs/stats.hh"
 #include "obs/tracer.hh"
@@ -74,10 +76,22 @@ struct Options
     bool noAppend = false;
     double injectSlowdown = 0.0;   //!< 0 = off
     prof::GateOptions gate;
-    /** --assert-ratio: require median(num)/median(den) >= min. */
+    /** --assert-ratio: require stat(num)/stat(den) >= min. */
     std::string ratioNum;
     std::string ratioDen;
     double ratioMin = 0.0;
+    /**
+     * --ratio-stat: how the asserted ratio is computed.
+     * "median" (default) compares the scenarios' median wall times —
+     * right for decisive margins. "min" compares min-of-reps, robust
+     * when noise is one-sided (preemption only adds time). "paired"
+     * takes the median of per-repetition ratios — the repetitions
+     * interleave den/num, so host drift (frequency scaling, noisy
+     * neighbors) cancels pair by pair; this is the estimator tight
+     * margins like phase_overhead_gate's 3% need to hold on a busy
+     * host.
+     */
+    std::string ratioStat = "median";
 };
 
 /** Shared state a scenario body can read; set up by the driver. */
@@ -133,6 +147,54 @@ scenarios()
                  replayMemo(*trace, bank);
                  ctx.extra["items"] =
                      static_cast<double>(trace->size());
+             };
+         }},
+        // The phase-overhead pair: identical 8-replay bodies, one
+        // bare and one with a PhaseScope attached at the default
+        // window. A single replay of the standard trace takes ~2 ms,
+        // which is too small to gate a 3% margin against scheduler
+        // noise; the 8x loop puts the medians in a range where the
+        // phase_overhead_gate ratio is stable. Both are ratio-only
+        // scenarios (never in a suite), so the loop does not skew any
+        // history baseline.
+        {"trace_replay_phase_off",
+         "8x batched replay, no telemetry (the overhead gate's "
+         "denominator)", false,
+         [](BenchContext &) {
+             auto trace = cachedMmKernelTrace(mmKernelByName("vcost"),
+                                              imageByName("chroms"), 64);
+             return [trace](BenchContext &ctx) {
+                 for (int i = 0; i < 8; i++) {
+                     MemoBank bank = MemoBank::standard(MemoConfig{});
+                     hookTracer(bank, ctx.tracer);
+                     replayMemo(*trace, bank);
+                 }
+                 ctx.extra["items"] =
+                     static_cast<double>(8 * trace->size());
+             };
+         }},
+        {"trace_replay_phase",
+         "8x batched replay with memo-scope phase telemetry attached "
+         "at the default window (the overhead gate's numerator)",
+         false,
+         [](BenchContext &) {
+             auto trace = cachedMmKernelTrace(mmKernelByName("vcost"),
+                                              imageByName("chroms"), 64);
+             return [trace](BenchContext &ctx) {
+                 size_t rows = 0;
+                 for (int i = 0; i < 8; i++) {
+                     MemoBank bank = MemoBank::standard(MemoConfig{});
+                     hookTracer(bank, ctx.tracer);
+                     obs::PhaseScope phases(bank, 2048, true);
+                     replayMemo(*trace, bank);
+                     phases.finalize();
+                     for (const obs::PhaseProfile &p :
+                          phases.profiles())
+                         rows += p.rows.size();
+                 }
+                 ctx.extra["items"] =
+                     static_cast<double>(8 * trace->size());
+                 ctx.extra["phaseRows"] = static_cast<double>(rows);
              };
          }},
         {"trace_replay_reference",
@@ -303,8 +365,15 @@ usage(std::ostream &os)
           "  --inject-slowdown X    multiply samples by X (gate\n"
           "                         self-test; implies no append)\n"
           "  --assert-ratio A B R   also run scenarios A and B and\n"
-          "                         fail unless median(A)/median(B)\n"
+          "                         fail unless stat(A)/stat(B)\n"
           "                         >= R (throughput-ratio gate)\n"
+          "  --ratio-stat S         how the ratio is computed: median\n"
+          "                         (default), min (robust one-sided\n"
+          "                         noise), or paired (median of\n"
+          "                         per-rep den/num ratios over the\n"
+          "                         interleaved reps; host drift\n"
+          "                         cancels pair by pair — use for\n"
+          "                         tight margins)\n"
           "  --no-append            measure/gate without writing\n"
           "  --rel-slack F          gate band fraction (default 0.30)\n"
           "  --mad-k F              gate MAD multiple (default 5.0)\n"
@@ -358,6 +427,13 @@ parseArgs(int argc, char **argv, Options &opt)
             if (opt.ratioMin <= 0)
                 throw std::runtime_error(
                     "--assert-ratio minimum must be positive");
+        }
+        else if (a == "--ratio-stat") {
+            opt.ratioStat = need(i);
+            if (opt.ratioStat != "median" && opt.ratioStat != "min" &&
+                opt.ratioStat != "paired")
+                throw std::runtime_error(
+                    "--ratio-stat must be median, min or paired");
         }
         else if (a == "--no-append")
             opt.noAppend = true;
@@ -431,6 +507,86 @@ runScenario(const Scenario &sc, const Options &opt,
     return r;
 }
 
+/**
+ * Run the --assert-ratio pair with interleaved repetitions: the
+ * denominator and numerator bodies alternate rep by rep, so slow
+ * host drift (frequency scaling, a noisy neighbor) lands on both
+ * scenarios equally instead of on whichever happened to run second.
+ * For a decisive margin like replay_speed_gate's 2x that is a
+ * nicety; for phase_overhead_gate's 3% it is the difference between
+ * a gate that holds and one that flakes.
+ */
+std::pair<prof::BenchRecord, prof::BenchRecord>
+runScenarioPair(const Scenario &num, const Scenario &den,
+                const Options &opt, obs::EventTracer *tracer)
+{
+    BenchContext ctx_num, ctx_den;
+    ctx_num.jobs = opt.jobs ? opt.jobs : exec::ThreadPool::defaultJobs();
+    ctx_den.jobs = ctx_num.jobs;
+    ctx_num.tracer = tracer;
+    ctx_den.tracer = tracer;
+
+    auto body_num = num.make(ctx_num);
+    auto body_den = den.make(ctx_den);
+
+    for (unsigned i = 0; i < opt.warmup; i++) {
+        {
+            prof::ProfSpan span(den.name + ":warmup");
+            body_den(ctx_den);
+        }
+        {
+            prof::ProfSpan span(num.name + ":warmup");
+            body_num(ctx_num);
+        }
+    }
+
+    auto init = [&](const Scenario &sc) {
+        prof::BenchRecord r;
+        r.scenario = sc.name;
+        r.suite = opt.suite;
+        r.reps = opt.reps;
+        r.warmup = opt.warmup;
+        r.jobs = ctx_num.jobs;
+        return r;
+    };
+    prof::BenchRecord r_num = init(num), r_den = init(den);
+
+    auto timeOne = [&](const Scenario &sc,
+                       std::function<void(BenchContext &)> &body,
+                       BenchContext &ctx, prof::BenchRecord &r) {
+        uint64_t t0 = prof::nowNs();
+        {
+            prof::ProfSpan span(sc.name);
+            body(ctx);
+        }
+        double sec = static_cast<double>(prof::nowNs() - t0) / 1e9;
+        if (opt.injectSlowdown > 0)
+            sec *= opt.injectSlowdown;
+        r.samplesSec.push_back(sec);
+    };
+    for (unsigned i = 0; i < opt.reps; i++) {
+        timeOne(den, body_den, ctx_den, r_den);
+        timeOne(num, body_num, ctx_num, r_num);
+    }
+
+    auto finish = [&](prof::BenchRecord &r, BenchContext &ctx) {
+        prof::summarizeSamples(r);
+        r.extra = ctx.extra;
+        if (r.medianSec > 0) {
+            auto it = ctx.extra.find("items");
+            if (it != ctx.extra.end())
+                r.extra["itemsPerSec"] = it->second / r.medianSec;
+            it = ctx.extra.find("cycles");
+            if (it != ctx.extra.end())
+                r.extra["cyclesPerSec"] = it->second / r.medianSec;
+        }
+        r.env = prof::EnvManifest::collect();
+    };
+    finish(r_num, ctx_num);
+    finish(r_den, ctx_den);
+    return {std::move(r_num), std::move(r_den)};
+}
+
 void
 printGateTable(const std::vector<prof::GateRow> &rows, std::ostream &os)
 {
@@ -470,29 +626,54 @@ run(const Options &opt)
         tracer.emplace(size_t{1} << 16, 64);
     }
 
-    std::vector<prof::BenchRecord> current;
-    for (const auto &sc : scenarios()) {
-        // Scenarios named by --assert-ratio always run, even when the
-        // suite or --scenario filter would exclude them.
-        bool forRatio = !opt.ratioNum.empty() &&
-                        (sc.name == opt.ratioNum ||
-                         sc.name == opt.ratioDen);
-        if (!forRatio) {
-            if (!opt.only.empty() && sc.name != opt.only)
-                continue;
-            if (opt.only.empty() && opt.suite == "quick" && !sc.quick)
-                continue;
-        }
-        std::cout << "[memo-bench] " << sc.name << " (" << opt.reps
-                  << " reps, " << opt.warmup << " warmup)...\n";
-        prof::BenchRecord r = runScenario(sc, opt,
-                                          tracer ? &*tracer : nullptr);
+    auto printSummary = [](const prof::BenchRecord &r) {
         char line[160];
         std::snprintf(line, sizeof line,
                       "  median %.4fs  mad %.4fs  min %.4fs  max %.4fs\n",
                       r.medianSec, r.madSec, r.minSec, r.maxSec);
         std::cout << line;
+    };
+
+    std::vector<prof::BenchRecord> current;
+    for (const auto &sc : scenarios()) {
+        // Scenarios named by --assert-ratio always run — but in the
+        // interleaved paired pass below, never in this loop, even
+        // when the suite or --scenario filter selects them.
+        bool forRatio = !opt.ratioNum.empty() &&
+                        (sc.name == opt.ratioNum ||
+                         sc.name == opt.ratioDen);
+        if (forRatio)
+            continue;
+        if (!opt.only.empty() && sc.name != opt.only)
+            continue;
+        if (opt.only.empty() && opt.suite == "quick" && !sc.quick)
+            continue;
+        std::cout << "[memo-bench] " << sc.name << " (" << opt.reps
+                  << " reps, " << opt.warmup << " warmup)...\n";
+        prof::BenchRecord r = runScenario(sc, opt,
+                                          tracer ? &*tracer : nullptr);
+        printSummary(r);
         current.push_back(std::move(r));
+    }
+    if (!opt.ratioNum.empty()) {
+        auto find = [](const std::string &name) -> const Scenario & {
+            for (const auto &sc : scenarios())
+                if (sc.name == name)
+                    return sc;
+            throw std::runtime_error(
+                "--assert-ratio: unknown scenario " + name);
+        };
+        const Scenario &num = find(opt.ratioNum);
+        const Scenario &den = find(opt.ratioDen);
+        std::cout << "[memo-bench] " << den.name << " / " << num.name
+                  << " interleaved (" << opt.reps << " reps, "
+                  << opt.warmup << " warmup)...\n";
+        auto pair = runScenarioPair(num, den, opt,
+                                    tracer ? &*tracer : nullptr);
+        printSummary(pair.second);
+        printSummary(pair.first);
+        current.push_back(std::move(pair.second));
+        current.push_back(std::move(pair.first));
     }
     if (current.empty())
         throw std::runtime_error(
@@ -541,20 +722,46 @@ run(const Options &opt)
                   << tracer->recorded() << " table events)\n";
     }
 
-    // Throughput-ratio gate: the numerator scenario's median wall
-    // time must be at least ratioMin times the denominator's.
+    // Throughput-ratio gate: the numerator scenario's wall time must
+    // be at least ratioMin times the denominator's, under the
+    // estimator --ratio-stat picks (see Options::ratioStat).
     bool ratioFailed = false;
     if (!opt.ratioNum.empty()) {
-        auto medianOf = [&](const std::string &name) {
+        auto recordOf =
+            [&](const std::string &name) -> const prof::BenchRecord & {
             for (const auto &r : current)
                 if (r.scenario == name)
-                    return r.medianSec;
+                    return r;
             throw std::runtime_error("--assert-ratio: scenario " +
                                      name + " not measured");
         };
-        double num = medianOf(opt.ratioNum);
-        double den = medianOf(opt.ratioDen);
-        double ratio = den > 0 ? num / den : 0.0;
+        const prof::BenchRecord &rn = recordOf(opt.ratioNum);
+        const prof::BenchRecord &rd = recordOf(opt.ratioDen);
+        double ratio = 0.0;
+        if (opt.ratioStat == "paired") {
+            // Median of per-repetition ratios: repetition k of both
+            // scenarios ran back to back, so whatever the host was
+            // doing that instant divides out.
+            std::vector<double> ratios;
+            size_t m = std::min(rn.samplesSec.size(),
+                                rd.samplesSec.size());
+            for (size_t k = 0; k < m; k++)
+                if (rd.samplesSec[k] > 0)
+                    ratios.push_back(rn.samplesSec[k] /
+                                     rd.samplesSec[k]);
+            std::sort(ratios.begin(), ratios.end());
+            size_t c = ratios.size();
+            if (c > 0)
+                ratio = c % 2 ? ratios[c / 2]
+                              : (ratios[c / 2 - 1] + ratios[c / 2]) /
+                                    2.0;
+        } else {
+            double num = opt.ratioStat == "min" ? rn.minSec
+                                                : rn.medianSec;
+            double den = opt.ratioStat == "min" ? rd.minSec
+                                                : rd.medianSec;
+            ratio = den > 0 ? num / den : 0.0;
+        }
         char line[200];
         std::snprintf(line, sizeof line,
                       "\nratio %s / %s = %.2fx (required >= %.2fx)\n",

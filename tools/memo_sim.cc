@@ -34,6 +34,7 @@
 #include "exec/trace_cache.hh"
 #include "img/generate.hh"
 #include "img/pnm.hh"
+#include "obs/phase.hh"
 #include "obs/stats.hh"
 #include "obs/tracer.hh"
 #include "prof/heartbeat.hh"
@@ -59,6 +60,9 @@ struct Options
     std::string traceEvents;   //!< Chrome-trace JSON output path
     std::string profileTrace;  //!< host-span Chrome-trace output path
     uint64_t samplePeriod = 1; //!< record every Nth table event
+    uint64_t phaseWindow = 0;  //!< phase window in accesses (0 = off)
+    std::string phaseOut = "phases.json"; //!< phase artifact path
+    bool phasePerSet = false;  //!< per-set occupancy in phases.json
     bool progress = false;     //!< stderr heartbeat during replays
     MemoConfig table;
     int crop = 128;
@@ -119,6 +123,15 @@ usage()
         "                      spans (plus table events when\n"
         "                      --trace-events is active) as one\n"
         "                      Chrome-trace file\n"
+        "  --phase-window N    collect phase-resolved (windowed)\n"
+        "                      table metrics every N accesses; writes\n"
+        "                      the versioned phases.json artifact and\n"
+        "                      merges counter tracks into\n"
+        "                      --trace-events output\n"
+        "  --phase-out FILE    phase artifact path (default\n"
+        "                      phases.json)\n"
+        "  --phase-per-set     include per-set occupancy rows in the\n"
+        "                      phase artifact (heatmap input)\n"
         "  --progress          stderr heartbeat (rate/ETA) during the\n"
         "                      replays; never touches stdout\n");
 }
@@ -253,6 +266,16 @@ parseArgs(int argc, char **argv)
             if (n <= 0)
                 throw std::runtime_error("--sample needs a positive N");
             opt.samplePeriod = static_cast<uint64_t>(n);
+        } else if (a == "--phase-window") {
+            long long n = std::atoll(need(i).c_str());
+            if (n <= 0)
+                throw std::runtime_error(
+                    "--phase-window needs a positive N");
+            opt.phaseWindow = static_cast<uint64_t>(n);
+        } else if (a == "--phase-out") {
+            opt.phaseOut = need(i);
+        } else if (a == "--phase-per-set") {
+            opt.phasePerSet = true;
         } else if (a == "--list") {
             std::printf("MM kernels:\n ");
             for (const auto &k : mmKernels())
@@ -445,6 +468,13 @@ main(int argc, char **argv)
                     table->setHooks(&*tracer);
         }
 
+        // Optional phase collection: one accumulator per table; the
+        // replay below takes the scalar access path, whose lazy
+        // boundary rule matches probeBlock's bit for bit.
+        std::optional<obs::PhaseScope> phases;
+        if (opt.phaseWindow > 0 && !opt.noMemo)
+            phases.emplace(bank, opt.phaseWindow, opt.phasePerSet);
+
         // Optional stderr heartbeat: the model bumps the counter in
         // coarse batches; the display thread owns all clock reads.
         unsigned replays = opt.noMemo ? 1 : 2;
@@ -503,13 +533,55 @@ main(int argc, char **argv)
         else
             t.print(std::cout);
 
+        std::vector<obs::PhaseProfile> phase_profiles;
+        if (phases) {
+            phases->finalize();
+            phase_profiles = phases->profiles();
+            for (auto &p : phase_profiles)
+                p.savedCyclesPerHit =
+                    memoSavedPerHit(cpu_cfg.lat, p.op);
+            std::string label = !opt.workload.empty() ? opt.workload
+                                : !opt.pipeline.empty()
+                                    ? opt.pipeline.front()
+                                    : "trace";
+            std::ofstream os(opt.phaseOut,
+                             std::ios::binary | std::ios::trunc);
+            if (!os)
+                throw std::runtime_error("cannot write " +
+                                         opt.phaseOut);
+            os << obs::renderPhasesJson(phase_profiles, label);
+            size_t windows = 0;
+            for (const auto &p : phase_profiles)
+                windows += p.rows.size();
+            std::cout << "wrote " << opt.phaseOut << " (" << windows
+                      << " phase windows of " << opt.phaseWindow
+                      << " accesses)\n";
+        }
+
         if (tracer) {
             std::ofstream events(opt.traceEvents,
                                  std::ios::binary | std::ios::trunc);
             if (!events)
                 throw std::runtime_error("cannot write " +
                                          opt.traceEvents);
-            tracer->exportChromeTrace(events);
+            if (phase_profiles.empty()) {
+                tracer->exportChromeTrace(events);
+            } else {
+                // Instant table events and phase counter tracks on
+                // one timeline, same conventions as
+                // exportChromeTrace.
+                events << "{\"traceEvents\": [";
+                bool first = true;
+                tracer->appendEventsJson(events, first);
+                obs::appendCounterEventsJson(events, first,
+                                             phase_profiles);
+                events << "\n],\n\"metadata\": {\"offered\": "
+                       << tracer->offered() << ", \"recorded\": "
+                       << tracer->recorded() << ", \"dropped\": "
+                       << tracer->dropped() << ", \"samplePeriod\": "
+                       << opt.samplePeriod << ", \"phaseWindow\": "
+                       << opt.phaseWindow << "}}\n";
+            }
             std::cout << "wrote " << opt.traceEvents << " ("
                       << tracer->recorded() << " of "
                       << tracer->offered()
